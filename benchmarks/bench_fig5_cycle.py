@@ -1,0 +1,35 @@
+"""Fig. 5: cycle-based hypergraphs (8 relations; the 16-relation panel
+is run scaled-down to 10 here — DPsub needs ~3^n probes).
+
+Paper shape: DPhyp fastest at every split count; DPsize beats DPsub on
+large cycles.  Run ``python -m repro.bench run fig5-cycle16`` (or with
+``REPRO_BENCH_FULL=1``) for the full series with ccp counts.
+"""
+
+import pytest
+
+from conftest import run_algorithm
+from repro.workloads.hyper import cycle_hypergraph, max_splits
+
+ALGORITHMS = ("dphyp", "dpsize", "dpsub")
+
+
+@pytest.mark.parametrize("splits", range(max_splits(4) + 1))
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_cycle8(benchmark, algorithm, splits):
+    query = cycle_hypergraph(8, splits, seed=0)
+    plan = benchmark(
+        run_algorithm, query.graph, query.cardinalities, algorithm
+    )
+    assert plan is not None
+
+
+@pytest.mark.parametrize("splits", [0, 2, 4])
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_cycle10(benchmark, algorithm, splits):
+    """Scaled stand-in for the 16-relation panel."""
+    query = cycle_hypergraph(10, splits, seed=0)
+    plan = benchmark(
+        run_algorithm, query.graph, query.cardinalities, algorithm
+    )
+    assert plan is not None

@@ -1,0 +1,24 @@
+"""Fig. 6: star-based hypergraphs (8 satellites; the 16-satellite panel
+is represented at 8 — the paper's own DPsize needs >100 s there).
+
+Paper shape: DPhyp highly superior; DPsub superior to DPsize on stars
+(the reverse of the cycle ordering).  Full series:
+``python -m repro.bench run fig6-star16``.
+"""
+
+import pytest
+
+from conftest import run_algorithm
+from repro.workloads.hyper import max_splits, star_hypergraph
+
+ALGORITHMS = ("dphyp", "dpsize", "dpsub")
+
+
+@pytest.mark.parametrize("splits", range(max_splits(4) + 1))
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_star8(benchmark, algorithm, splits):
+    query = star_hypergraph(8, splits, seed=0)
+    plan = benchmark(
+        run_algorithm, query.graph, query.cardinalities, algorithm
+    )
+    assert plan is not None

@@ -1,0 +1,50 @@
+"""Fig. 7: star queries *without* hyperedges (regular graphs),
+log-scale growth over the number of relations.
+
+Paper shape: DPhyp ≈ DPccp on regular graphs and orders of magnitude
+below DPsize/DPsub as n grows.  n is kept ≤ 11 here so every timed run
+stays sub-second in Python; ``python -m repro.bench run fig7-regular``
+prints the full curve.
+"""
+
+import pytest
+
+from conftest import run_algorithm
+from repro.workloads.generators import star
+
+#: number of relations n -> star with n-1 satellites
+SMALL_NS = (4, 6, 8)
+LARGE_NS = (10, 11)
+
+
+@pytest.mark.parametrize("n", SMALL_NS + LARGE_NS)
+@pytest.mark.parametrize("algorithm", ("dphyp", "dpccp"))
+def test_fast_algorithms(benchmark, algorithm, n):
+    query = star(n - 1, seed=0)
+    plan = benchmark(
+        run_algorithm, query.graph, query.cardinalities, algorithm
+    )
+    assert plan is not None
+
+
+@pytest.mark.parametrize("n", SMALL_NS)
+@pytest.mark.parametrize("algorithm", ("dpsize", "dpsub"))
+def test_baselines_small(benchmark, algorithm, n):
+    query = star(n - 1, seed=0)
+    plan = benchmark(
+        run_algorithm, query.graph, query.cardinalities, algorithm
+    )
+    assert plan is not None
+
+
+@pytest.mark.parametrize("algorithm", ("dpsize", "dpsub"))
+def test_baselines_n10(benchmark, algorithm):
+    """The largest baseline point: already ~100x DPhyp's time."""
+    query = star(9, seed=0)
+    plan = benchmark.pedantic(
+        run_algorithm,
+        args=(query.graph, query.cardinalities, algorithm),
+        rounds=3,
+        iterations=1,
+    )
+    assert plan is not None

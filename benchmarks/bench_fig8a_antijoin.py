@@ -1,0 +1,31 @@
+"""Fig. 8a: star query with increasing antijoins —
+hypergraph-derived edges vs. generate-and-test on TESs.
+
+Paper shape: both curves fall as antijoins restrict the search space,
+but the hypergraph formulation is far ahead because it never generates
+the plans the TES test would discard.  Run
+``python -m repro.bench run fig8a-antijoin`` for the full series.
+"""
+
+import pytest
+
+from repro.algebra.pipeline import optimize_operator_tree
+from repro.workloads.nonreorderable import star_antijoin_tree
+
+N_SATELLITES = 8
+
+
+def optimize_mode(tree, mode):
+    result = optimize_operator_tree(tree, mode=mode)
+    assert result.plan is not None
+    return result
+
+
+@pytest.mark.parametrize("n_antijoins", [0, 2, 4, 6, 8])
+@pytest.mark.parametrize("mode", ["hyperedges", "tes-filter"])
+def test_star_antijoins(benchmark, mode, n_antijoins):
+    tree = star_antijoin_tree(N_SATELLITES, n_antijoins, seed=7)
+    result = benchmark(optimize_mode, tree, mode)
+    # the search-space collapse that drives the figure:
+    if n_antijoins == N_SATELLITES and mode == "hyperedges":
+        assert result.stats.ccp_emitted <= N_SATELLITES

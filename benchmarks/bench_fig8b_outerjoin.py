@@ -1,0 +1,28 @@
+"""Fig. 8b: cycle query with increasing outer joins — DPhyp vs DPsize
+(DPsub excluded, as in the paper: >1400 ms there).
+
+Paper shape: runtime dips first (outer joins pin against inner joins,
+shrinking the space) and rises again as outer joins — associative among
+themselves — dominate; DPhyp stays ahead of DPsize throughout.
+"""
+
+import pytest
+
+from repro.algebra.pipeline import optimize_operator_tree
+from repro.workloads.nonreorderable import cycle_outerjoin_tree
+
+N_RELATIONS = 10
+
+
+def optimize_algorithm(tree, algorithm):
+    result = optimize_operator_tree(tree, algorithm=algorithm)
+    assert result.plan is not None
+    return result
+
+
+@pytest.mark.parametrize("n_outerjoins", [0, 3, 6, 9])
+@pytest.mark.parametrize("algorithm", ["dphyp", "dpsize"])
+def test_cycle_outerjoins(benchmark, algorithm, n_outerjoins):
+    tree = cycle_outerjoin_tree(N_RELATIONS, n_outerjoins, seed=7)
+    result = benchmark(optimize_algorithm, tree, algorithm)
+    assert result.cost > 0

@@ -1,0 +1,27 @@
+"""Sec. 4.3 table: star-based hypergraphs with 4 satellites.
+
+Paper values (ms):
+
+    splits  DPhyp  DPsize  DPsub
+    0       0.03   0.085   0.065
+    1       0.055  0.09    0.08
+
+Reproduced shape: DPhyp fastest, DPsub slightly ahead of DPsize.
+"""
+
+import pytest
+
+from conftest import run_algorithm
+from repro.workloads.hyper import star_hypergraph
+
+ALGORITHMS = ("dphyp", "dpsize", "dpsub")
+
+
+@pytest.mark.parametrize("splits", [0, 1])
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_star4(benchmark, algorithm, splits):
+    query = star_hypergraph(4, splits, seed=0)
+    plan = benchmark(
+        run_algorithm, query.graph, query.cardinalities, algorithm
+    )
+    assert plan is not None

@@ -1,0 +1,22 @@
+"""Shared helpers for the pytest-benchmark suite.
+
+Each benchmark module regenerates one table/figure of the paper at
+pytest-benchmark-friendly sizes (every timed run well under a second).
+The full paper-style series — including the scaled-up sizes and the
+ccp counters — come from ``python -m repro.bench run all``; these
+benchmarks pin the per-configuration timings and let
+``pytest benchmarks/ --benchmark-only`` track regressions.
+"""
+
+from __future__ import annotations
+
+from repro.api import ALGORITHMS
+from repro.core.plans import JoinPlanBuilder
+from repro.core.stats import SearchStats
+
+
+def run_algorithm(graph, cardinalities, algorithm: str):
+    """One cold optimizer run (what the paper times)."""
+    stats = SearchStats()
+    builder = JoinPlanBuilder(graph, cardinalities, stats=stats)
+    return ALGORITHMS[algorithm](graph, builder, stats)

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Data-warehouse star query at scale: exact DP vs. greedy.
+
+"Star queries are common in data warehousing and thus deserve special
+attention" (Section 4.3).  This example builds a star with a fact table
+and ten dimensions with realistic cardinality skew, then:
+
+1. shows how fast the exact search space grows (csg-cmp-pairs),
+2. compares DPhyp's optimum against the GOO greedy heuristic,
+3. demonstrates a cross-dimension complex predicate as a hyperedge —
+   DPhyp supports it natively, and (unlike naive n-ary handling) it
+   does not blow up the enumerated search space.
+
+Run:  python examples/warehouse_star.py
+"""
+
+import time
+
+from repro import Hyperedge, Hypergraph, optimize
+from repro.core import bitset
+from repro.cost.catalog import Catalog
+
+
+def build_catalog(n_dimensions: int) -> Catalog:
+    catalog = Catalog()
+    catalog.add("sales", 10_000_000.0, {"date_id": 2_000.0, "cust_id": 40_000.0})
+    sizes = [2_000, 40_000, 500, 100, 5_000, 1_200, 80, 300, 9_000, 60]
+    for i in range(n_dimensions):
+        catalog.add(f"dim{i}", float(sizes[i % len(sizes)]))
+    return catalog
+
+
+def build_star(catalog: Catalog, with_hyperedge: bool = False) -> Hypergraph:
+    n = len(catalog)
+    graph = Hypergraph(n_nodes=n, node_names=catalog.names)
+    for i in range(1, n):
+        selectivity = 1.0 / catalog.get(f"dim{i - 1}").cardinality
+        graph.add_simple_edge(0, i, selectivity=selectivity)
+    if with_hyperedge:
+        # a cross-dimension business rule, e.g.
+        # f(dim0.date, dim1.cust) = g(dim2.channel, dim3.promo)
+        graph.add_edge(
+            Hyperedge(
+                left=bitset.set_of(1, 2),
+                right=bitset.set_of(3, 4),
+                selectivity=0.25,
+            )
+        )
+    return graph
+
+
+def main() -> None:
+    print(f"{'dims':>4}  {'ccps':>8}  {'dphyp ms':>9}  "
+          f"{'greedy/optimal':>14}")
+    for n_dimensions in (4, 6, 8, 10):
+        catalog = build_catalog(n_dimensions)
+        graph = build_star(catalog)
+        cards = catalog.cardinalities
+
+        start = time.perf_counter()
+        exact = optimize(graph, cards, algorithm="dphyp")
+        elapsed = (time.perf_counter() - start) * 1000
+
+        greedy = optimize(graph, cards, algorithm="greedy")
+        ratio = greedy.cost / exact.cost
+        print(f"{n_dimensions:>4}  {exact.stats.ccp_emitted:>8}  "
+              f"{elapsed:>9.2f}  {ratio:>13.3f}x")
+
+    print()
+    catalog = build_catalog(10)
+    plain = optimize(build_star(catalog), catalog.cardinalities)
+    fenced = optimize(build_star(catalog, with_hyperedge=True),
+                      catalog.cardinalities)
+    print("search space without cross-dimension hyperedge:",
+          plain.stats.ccp_emitted, "ccps")
+    print("search space with    cross-dimension hyperedge:",
+          fenced.stats.ccp_emitted, "ccps")
+    print("(the n-ary predicate rides along as a hyperedge without")
+    print(" inflating the enumeration — the point of DPhyp)")
+    print()
+    print("optimal plan (10 dimensions):")
+    print(" ", plain.plan.render(catalog.names))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy-setuptools shim: environments without the `wheel` package
+cannot build PEP 517 editable installs; `pip install -e . --no-use-pep517`
+uses this instead. All metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

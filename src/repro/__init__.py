@@ -1,0 +1,76 @@
+"""repro — a reproduction of "Dynamic Programming Strikes Back"
+(Moerkotte & Neumann, SIGMOD 2008).
+
+The package implements DPhyp, the hypergraph-aware join enumeration
+algorithm, together with the baselines it is evaluated against (DPsize,
+DPsub, DPccp, top-down memoization), the SES/TES conflict machinery
+that reduces outer joins / antijoins / semijoins / nestjoins and their
+dependent variants to hyperedges, a relational execution engine used to
+validate reorderings, and the full benchmark harness reproducing every
+table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import Hypergraph, optimize
+
+    graph = Hypergraph(n_nodes=3)
+    graph.add_simple_edge(0, 1, selectivity=0.1)
+    graph.add_simple_edge(1, 2, selectivity=0.2)
+    result = optimize(graph, cardinalities=[1000, 100, 10])
+    print(result.plan.render(), result.cost)
+"""
+
+from .api import ALGORITHMS, OptimizationResult, optimize
+from .explain import explain, explain_dot, plan_summary
+from .core import (
+    Hyperedge,
+    Hypergraph,
+    JoinPlanBuilder,
+    Plan,
+    SearchStats,
+    simple_edge,
+    solve_dpccp,
+    solve_dphyp,
+    solve_dpsize,
+    solve_dpsub,
+    solve_greedy,
+    solve_topdown,
+)
+from .cost import (
+    Catalog,
+    CostModel,
+    CoutModel,
+    HashJoinModel,
+    NestedLoopModel,
+    SortMergeModel,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "OptimizationResult",
+    "optimize",
+    "explain",
+    "explain_dot",
+    "plan_summary",
+    "Hyperedge",
+    "Hypergraph",
+    "JoinPlanBuilder",
+    "Plan",
+    "SearchStats",
+    "simple_edge",
+    "solve_dpccp",
+    "solve_dphyp",
+    "solve_dpsize",
+    "solve_dpsub",
+    "solve_greedy",
+    "solve_topdown",
+    "Catalog",
+    "CostModel",
+    "CoutModel",
+    "HashJoinModel",
+    "NestedLoopModel",
+    "SortMergeModel",
+    "__version__",
+]

@@ -1,0 +1,266 @@
+"""Attributes, predicates, and nestjoin aggregate expressions.
+
+Predicates carry three faces at once:
+
+* the *syntactic* face the optimizer needs — which relations an
+  expression references (``FT(p)``, Section 5.5), plus an optional
+  flex-group split for Section 6's generalized hyperedges;
+* the *statistical* face — a selectivity for cardinality estimation;
+* the *operational* face — ``evaluate(row)`` with SQL-ish three-valued
+  logic so the execution engine can run plans on real tuples.
+
+NULL semantics: a comparison involving NULL yields *unknown*, which is
+treated as not satisfied.  This makes every comparison predicate
+"strong" (null-rejecting), matching the paper's standing assumption
+("all predicates are strong on all tables", Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A qualified attribute ``relation.name``."""
+
+    relation: str
+    name: str
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.relation}.{self.name}"
+
+    def __str__(self) -> str:
+        return self.qualified
+
+
+def attr(qualified: str) -> Attribute:
+    """Parse ``"R.a"`` into an :class:`Attribute`."""
+    relation, _, name = qualified.partition(".")
+    if not relation or not name:
+        raise ValueError(f"expected 'relation.attribute', got {qualified!r}")
+    return Attribute(relation, name)
+
+
+class Predicate:
+    """Base class; subclasses must fill ``tables`` and ``evaluate``."""
+
+    #: relations referenced by the predicate, ``FT(p)``
+    tables: frozenset[str]
+    #: estimated fraction of the cross product that satisfies it
+    selectivity: float
+    #: relations free to sit on either side of the derived hyperedge
+    #: (the ``w`` group of Definition 6); must be a subset of ``tables``
+    flex_tables: frozenset[str]
+
+    def evaluate(self, row: dict[str, Any]) -> bool:
+        """Three-valued evaluation collapsed to bool (unknown = False)."""
+        raise NotImplementedError
+
+    def conjoin(self, other: Optional["Predicate"]) -> "Predicate":
+        """Conjunction with another predicate (EmitCsgCmp's ``∧``)."""
+        if other is None:
+            return self
+        return Conjunction((self, other))
+
+    def __str__(self) -> str:  # pragma: no cover - debug default
+        return f"<predicate on {sorted(self.tables)}>"
+
+
+@dataclass(frozen=True)
+class Equals(Predicate):
+    """Equi-join predicate ``left = right`` (strong on both sides)."""
+
+    left: Attribute
+    right: Attribute
+    selectivity: float = 0.1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "tables", frozenset({self.left.relation, self.right.relation})
+        )
+        object.__setattr__(self, "flex_tables", frozenset())
+
+    def evaluate(self, row: dict[str, Any]) -> bool:
+        a = row.get(self.left.qualified)
+        b = row.get(self.right.qualified)
+        if a is None or b is None:
+            return False
+        return a == b
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """General binary comparison between two attributes."""
+
+    left: Attribute
+    op: str
+    right: Attribute
+    selectivity: float = 0.3
+
+    _OPS: tuple[str, ...] = ("<", "<=", ">", ">=", "=", "!=")
+
+    def __post_init__(self) -> None:
+        if self.op not in self._OPS:
+            raise ValueError(f"unsupported comparison operator {self.op!r}")
+        object.__setattr__(
+            self, "tables", frozenset({self.left.relation, self.right.relation})
+        )
+        object.__setattr__(self, "flex_tables", frozenset())
+
+    def evaluate(self, row: dict[str, Any]) -> bool:
+        a = row.get(self.left.qualified)
+        b = row.get(self.right.qualified)
+        if a is None or b is None:
+            return False
+        if self.op == "=":
+            return a == b
+        if self.op == "!=":
+            return a != b
+        if self.op == "<":
+            return a < b
+        if self.op == "<=":
+            return a <= b
+        if self.op == ">":
+            return a > b
+        return a >= b
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class Conjunction(Predicate):
+    """``p1 ∧ p2 ∧ ...`` — what EmitCsgCmp assembles from the
+    hyperedges connecting a csg-cmp-pair."""
+
+    parts: tuple[Predicate, ...]
+
+    def __post_init__(self) -> None:
+        if not self.parts:
+            raise ValueError("conjunction needs at least one part")
+        tables: frozenset[str] = frozenset()
+        flex: frozenset[str] = frozenset()
+        selectivity = 1.0
+        for part in self.parts:
+            tables |= part.tables
+            flex |= part.flex_tables
+            selectivity *= part.selectivity
+        object.__setattr__(self, "tables", tables)
+        object.__setattr__(self, "flex_tables", flex)
+        object.__setattr__(self, "selectivity", selectivity)
+
+    def evaluate(self, row: dict[str, Any]) -> bool:
+        return all(part.evaluate(row) for part in self.parts)
+
+    def __str__(self) -> str:
+        return " AND ".join(str(part) for part in self.parts)
+
+
+@dataclass(frozen=True)
+class ComplexPredicate(Predicate):
+    """An n-ary predicate like ``R1.a + R2.b + R3.c = R4.d + R5.e``.
+
+    ``left_group`` / ``right_group`` are the relations pinned to each
+    side of the derived hyperedge; ``flex_group`` holds relations that
+    algebraic rewrites could move to either side (Section 6 — they
+    become the ``w`` component of a generalized hyperedge).
+
+    ``fn`` receives the full merged row and decides satisfaction; when
+    omitted, the predicate is statistics-only (enumeration benchmarks
+    do not execute plans).
+    """
+
+    left_group: frozenset[str]
+    right_group: frozenset[str]
+    flex_group: frozenset[str] = frozenset()
+    selectivity: float = 0.1
+    fn: Optional[Callable[[dict[str, Any]], bool]] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.left_group or not self.right_group:
+            raise ValueError("complex predicate needs both side groups")
+        overlap = (
+            (self.left_group & self.right_group)
+            | (self.left_group & self.flex_group)
+            | (self.right_group & self.flex_group)
+        )
+        if overlap:
+            raise ValueError(f"predicate groups overlap on {sorted(overlap)}")
+        object.__setattr__(
+            self, "tables", self.left_group | self.right_group | self.flex_group
+        )
+        object.__setattr__(self, "flex_tables", frozenset(self.flex_group))
+
+    tables: frozenset[str] = field(init=False, default=frozenset())
+    flex_tables: frozenset[str] = field(init=False, default=frozenset())
+
+    def evaluate(self, row: dict[str, Any]) -> bool:
+        if self.fn is None:
+            raise ValueError("statistics-only predicate cannot be evaluated")
+        return bool(self.fn(row))
+
+    def conjoin(self, other):
+        if other is None:
+            return self
+        return Conjunction((self, other))
+
+    def __str__(self) -> str:
+        return self.label or (
+            f"complex({sorted(self.left_group)} ~ {sorted(self.right_group)}"
+            + (f" / {sorted(self.flex_group)}" if self.flex_group else "")
+            + ")"
+        )
+
+
+@dataclass(frozen=True)
+class FunctionPredicate(Predicate):
+    """Arbitrary predicate over explicitly declared tables."""
+
+    fn: Callable[[dict[str, Any]], bool]
+    over: frozenset[str]
+    selectivity: float = 0.25
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tables", frozenset(self.over))
+        object.__setattr__(self, "flex_tables", frozenset())
+
+    def evaluate(self, row: dict[str, Any]) -> bool:
+        return bool(self.fn(row))
+
+    def __str__(self) -> str:
+        return self.label or f"fn({sorted(self.tables)})"
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """One ``a_i : e_i`` pair of the nestjoin definition (Section 5.1).
+
+    ``fn`` folds the list of matching right-side rows into a single
+    value (e.g. ``len`` for COUNT); ``name`` is the output attribute,
+    qualified with the pseudo-relation of the nestjoin so downstream
+    predicates can reference it (the ``∃a_i ∈ F(p1)`` rule of CalcTES).
+    """
+
+    name: str
+    fn: Callable[[list[dict[str, Any]]], Any]
+    #: relations the expression references besides the group itself
+    tables: frozenset[str] = frozenset()
+
+    def compute(self, group: list[dict[str, Any]]) -> Any:
+        return self.fn(group)
+
+
+def tables_of(predicates: Iterable[Predicate]) -> frozenset[str]:
+    """Union of ``FT(p)`` over several predicates."""
+    result: frozenset[str] = frozenset()
+    for predicate in predicates:
+        result |= predicate.tables
+    return result

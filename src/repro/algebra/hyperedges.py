@@ -1,0 +1,175 @@
+"""From TESs to query hypergraphs (Sections 5.7 and 6).
+
+Rather than testing TES containment late in EmitCsgCmp (the
+generate-and-test approach, kept in :mod:`repro.algebra.tes_filter`
+for the Fig. 8a comparison), the conflict sets are folded into the
+hyperedges themselves::
+
+    r = TES(o) ∩ T(right(o))
+    l = TES(o) \\ r
+
+so the enumeration never *generates* plans violating a conflict.  Even
+for queries whose predicates are all binary this shrinks the explored
+search space dramatically — the paper's star-of-antijoins drops from
+``O(n^2)`` explored pairs to ``O(n)``.
+
+Section 6 interacts here: relations from a predicate's *flex* group
+(``w`` of a generalized hyperedge) stay flexible only if no conflict
+pinned them, i.e. we subtract ``w`` from the pinned sides and keep the
+remainder as the edge's flex component.
+
+Every produced edge carries an :class:`EdgeInfo` payload recording the
+originating operator (always the *regular* variant — Section 5.6: the
+dependent decision is re-made at plan construction), the predicate and
+any nestjoin aggregates, so ``EmitCsgCmp`` can rebuild semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core import bitset
+from ..core.bitset import NodeSet
+from ..core.hypergraph import Hyperedge, Hypergraph
+from .expr import Aggregate, Predicate
+from .operators import JOIN, Operator
+from .optree import TreeNode
+from .tes import ConflictAnalysis, OperatorInfo, analyze
+
+
+@dataclass(frozen=True)
+class EdgeInfo:
+    """Payload attached to every operator-derived hyperedge."""
+
+    operator: Operator
+    predicate: Predicate
+    aggregates: tuple[Aggregate, ...] = ()
+
+    @property
+    def is_inner(self) -> bool:
+        return self.operator.is_inner_join
+
+
+def edge_for_operator(
+    analysis: ConflictAnalysis, info: OperatorInfo
+) -> Hyperedge:
+    """Construct the hyperedge of one operator per Section 5.7."""
+    op_node = info.node
+    tes = info.tes
+    # Flex relations (Section 6): referenced tables the predicate allows
+    # on either side, minus anything a conflict pinned.
+    flex = analysis.bitmap(op_node.predicate.flex_tables) & ~info.conflict_tables
+    pinned = tes & ~flex
+    right = pinned & info.right_tables
+    left = pinned & ~info.right_tables
+    # Degenerate predicates (touching one side only, e.g. an enforced
+    # cross product) get the full argument side, which keeps the edge
+    # meaningful and the graph connected.
+    if right == 0:
+        right = info.right_tables & ~flex
+    if left == 0:
+        left = info.left_tables & ~flex
+    operator = info.node.op.to_regular() if info.node.op.dependent else info.node.op
+    return Hyperedge(
+        left=left,
+        right=right,
+        flex=flex & ~(left | right),
+        selectivity=op_node.predicate.selectivity,
+        payload=EdgeInfo(
+            operator=operator,
+            predicate=op_node.predicate,
+            aggregates=op_node.aggregates,
+        ),
+    )
+
+
+@dataclass
+class CompiledQuery:
+    """An operator tree compiled to a hypergraph problem."""
+
+    analysis: ConflictAnalysis
+    graph: Hypergraph
+    cardinalities: list[float]
+    #: per-node bitmap of free tables (table-valued function leaves)
+    free_tables: list[NodeSet]
+
+    @property
+    def relation_names(self) -> list[str]:
+        return [relation.name for relation in self.analysis.relations]
+
+
+def compile_tree(
+    tree: TreeNode, analysis: Optional[ConflictAnalysis] = None
+) -> CompiledQuery:
+    """Analyze (unless given) and translate a tree into a hypergraph.
+
+    The caller is expected to have validated and normalized the tree —
+    :func:`repro.algebra.pipeline.optimize_operator_tree` wires the
+    whole chain together.
+    """
+    if analysis is None:
+        analysis = analyze(tree)
+    names = [relation.name for relation in analysis.relations]
+    graph = Hypergraph(n_nodes=len(names), node_names=list(names))
+    for info in analysis.operators:
+        graph.add_edge(edge_for_operator(analysis, info))
+    cardinalities = [relation.cardinality for relation in analysis.relations]
+    free_tables = [
+        analysis.bitmap(relation.free_tables)
+        for relation in analysis.relations
+    ]
+    return CompiledQuery(analysis, graph, cardinalities, free_tables)
+
+
+def hypergraph_from_predicates(
+    relation_names: list[str],
+    predicates: list[Predicate],
+    cardinalities: Optional[list[float]] = None,
+) -> Hypergraph:
+    """Section 2/6 direct construction for conjunctive (inner-join)
+    queries: each predicate's pinned groups become hyperedge sides and
+    its flex group the ``w`` component.
+
+    For a plain binary predicate this yields a simple edge; for
+    ``f1(R1,R2,R3) = f2(R4,R5,R6)`` the hyperedge
+    ``({R1,R2,R3}, {R4,R5,R6})``.
+    """
+    index_of = {name: i for i, name in enumerate(relation_names)}
+    graph = Hypergraph(
+        n_nodes=len(relation_names), node_names=list(relation_names)
+    )
+
+    def bitmap(names) -> NodeSet:
+        result = 0
+        for name in names:
+            result |= 1 << index_of[name]
+        return result
+
+    for predicate in predicates:
+        flex = bitmap(predicate.flex_tables)
+        if hasattr(predicate, "left_group") and hasattr(predicate, "right_group"):
+            left = bitmap(predicate.left_group)
+            right = bitmap(predicate.right_group)
+        else:
+            pinned = sorted(predicate.tables - predicate.flex_tables)
+            if len(pinned) < 2:
+                raise ValueError(
+                    f"predicate {predicate} must pin at least two relations"
+                )
+            # Binary (or n-ary without explicit groups): split around
+            # the node-order median, lower indices left.
+            indices = sorted(index_of[name] for name in pinned)
+            half = max(1, len(indices) // 2)
+            left = bitset.from_iterable(indices[:half])
+            right = bitset.from_iterable(indices[half:])
+        graph.add_edge(
+            Hyperedge(
+                left=left,
+                right=right,
+                flex=flex & ~(left | right),
+                selectivity=predicate.selectivity,
+                payload=EdgeInfo(operator=JOIN, predicate=predicate),
+            )
+        )
+    return graph

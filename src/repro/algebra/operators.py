@@ -1,0 +1,176 @@
+"""The binary operators of Section 5.1 and their algebraic properties.
+
+Besides the fully reorderable inner join the paper considers: full
+outer join, left outer join, left antijoin, left semijoin, left
+nestjoin — and the *dependent* counterpart of each left-variant (the
+d-join family), where the right input is re-evaluated per left tuple.
+
+An :class:`Operator` value is immutable; the module exposes the twelve
+canonical instances plus the property tables the conflict rules need:
+commutativity, linearity (Definition 5), and the operator-conflict
+predicate ``OC`` from Section 5.5 / Appendix A.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: canonical kind tags (dependent variants prefix ``d``)
+JOIN_KIND = "join"
+LEFT_OUTER_KIND = "left_outer"
+FULL_OUTER_KIND = "full_outer"
+SEMI_KIND = "semi"
+ANTI_KIND = "anti"
+NEST_KIND = "nest"
+
+_BASE_KINDS = (
+    JOIN_KIND,
+    LEFT_OUTER_KIND,
+    FULL_OUTER_KIND,
+    SEMI_KIND,
+    ANTI_KIND,
+    NEST_KIND,
+)
+
+_SYMBOLS = {
+    JOIN_KIND: "join",
+    LEFT_OUTER_KIND: "leftouter",
+    FULL_OUTER_KIND: "fullouter",
+    SEMI_KIND: "semi",
+    ANTI_KIND: "anti",
+    NEST_KIND: "nest",
+}
+
+
+@dataclass(frozen=True)
+class Operator:
+    """A binary algebra operator, possibly the dependent variant.
+
+    ``base_kind`` is one of the six canonical tags; ``dependent`` marks
+    the d-variant (d-join, dependent left outer join / "outer apply",
+    etc., Section 5.1).
+    """
+
+    base_kind: str
+    dependent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.base_kind not in _BASE_KINDS:
+            raise ValueError(f"unknown operator kind {self.base_kind!r}")
+        if self.dependent and self.base_kind == FULL_OUTER_KIND:
+            raise ValueError("the full outer join has no dependent variant")
+
+    @property
+    def kind(self) -> str:
+        """Tag used by the cardinality estimator (``djoin`` etc.)."""
+        return ("d" + self.base_kind) if self.dependent else self.base_kind
+
+    @property
+    def is_inner_join(self) -> bool:
+        return self.base_kind == JOIN_KIND and not self.dependent
+
+    @property
+    def commutative(self) -> bool:
+        """Only join and full outer join commute (Section 5.4); the
+        dependent join does not — its right side references the left."""
+        if self.dependent:
+            return False
+        return self.base_kind in (JOIN_KIND, FULL_OUTER_KIND)
+
+    @property
+    def left_linear(self) -> bool:
+        """Definition 5 / Observation 1: all LOP operators and the join
+        are left-linear; the full outer join is not."""
+        return self.base_kind != FULL_OUTER_KIND
+
+    @property
+    def right_linear(self) -> bool:
+        """Only the inner join is right-linear (Observation 1)."""
+        return self.base_kind == JOIN_KIND
+
+    @property
+    def right_side_visible(self) -> bool:
+        """Do attributes of the right input survive into the output?
+
+        False for semi/anti joins (the right side only filters) and for
+        the nestjoin (the right side is folded into aggregates).  Used
+        to validate initial operator trees.
+        """
+        return self.base_kind in (JOIN_KIND, LEFT_OUTER_KIND, FULL_OUTER_KIND)
+
+    def to_dependent(self) -> "Operator":
+        """The dependent counterpart (Section 5.6)."""
+        if self.base_kind == FULL_OUTER_KIND:
+            raise ValueError("the full outer join has no dependent variant")
+        return Operator(self.base_kind, dependent=True)
+
+    def to_regular(self) -> "Operator":
+        return Operator(self.base_kind, dependent=False)
+
+    def __str__(self) -> str:
+        name = _SYMBOLS[self.base_kind]
+        return ("d" + name) if self.dependent else name
+
+
+#: The canonical operator instances.
+JOIN = Operator(JOIN_KIND)
+LEFT_OUTER = Operator(LEFT_OUTER_KIND)
+FULL_OUTER = Operator(FULL_OUTER_KIND)
+SEMI = Operator(SEMI_KIND)
+ANTI = Operator(ANTI_KIND)
+NEST = Operator(NEST_KIND)
+DEPENDENT_JOIN = Operator(JOIN_KIND, dependent=True)
+DEPENDENT_LEFT_OUTER = Operator(LEFT_OUTER_KIND, dependent=True)
+DEPENDENT_SEMI = Operator(SEMI_KIND, dependent=True)
+DEPENDENT_ANTI = Operator(ANTI_KIND, dependent=True)
+DEPENDENT_NEST = Operator(NEST_KIND, dependent=True)
+
+#: The LOP set of Section 5.1 (left-linear, limited reorderability).
+LOP = frozenset(
+    {
+        LEFT_OUTER,
+        SEMI,
+        ANTI,
+        NEST,
+        DEPENDENT_JOIN,
+        DEPENDENT_LEFT_OUTER,
+        DEPENDENT_SEMI,
+        DEPENDENT_ANTI,
+        DEPENDENT_NEST,
+    }
+)
+
+ALL_OPERATORS = (
+    JOIN,
+    LEFT_OUTER,
+    FULL_OUTER,
+    SEMI,
+    ANTI,
+    NEST,
+    DEPENDENT_JOIN,
+    DEPENDENT_LEFT_OUTER,
+    DEPENDENT_SEMI,
+    DEPENDENT_ANTI,
+    DEPENDENT_NEST,
+)
+
+
+def operator_conflict(op1: Operator, op2: Operator) -> bool:
+    """``OC(op1, op2)`` from Section 5.5 / Appendix A.3.
+
+    True when the nesting ``(R op1 S) op2 T`` (or its right-nested
+    mirror) may *not* be reordered.  "Each operator also stands for its
+    dependent counterpart", so only base kinds matter::
+
+        OC(o1, o2) = (o1 = join ∧ o2 = fullouter)
+                   ∨ (o1 ≠ join ∧ ¬(o1 = o2 = leftouter)
+                               ∧ ¬(o1 = fullouter ∧ o2 ∈ {leftouter, fullouter}))
+    """
+    k1, k2 = op1.base_kind, op2.base_kind
+    if k1 == JOIN_KIND:
+        return k2 == FULL_OUTER_KIND
+    if k1 == LEFT_OUTER_KIND and k2 == LEFT_OUTER_KIND:
+        return False
+    if k1 == FULL_OUTER_KIND and k2 in (LEFT_OUTER_KIND, FULL_OUTER_KIND):
+        return False
+    return True

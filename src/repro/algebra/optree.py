@@ -1,0 +1,274 @@
+"""Initial operator trees (Section 5.3).
+
+"A query (hyper-)graph alone does not capture the semantics of a query
+in a correct way.  What is needed is an initial operator tree
+equivalent to the query."  This module provides that tree: leaves are
+base relations (or table-valued function calls with free variables),
+inner nodes are the binary operators of Section 5.1 with a join
+predicate (and aggregate specifications for nestjoins).
+
+Key services:
+
+* validation — every predicate may only reference attributes available
+  at its node (semi/anti/nest joins hide their right side);
+* normalization — the Appendix L1→R2 rewrite: commutative children are
+  swapped so the parent predicate always touches their *right* side,
+  turning every potential conflict into the case the conflict rules
+  cover;
+* leaf ordering — relations are numbered left-to-right (Section 5.4),
+  which is the node ordering the enumeration relies on to re-establish
+  which side of a non-commutative operator a plan class belongs to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Iterator, Optional
+
+from .expr import Aggregate, Predicate
+from .operators import NEST_KIND, Operator
+
+
+@dataclass
+class Relation:
+    """A base relation or table-valued function leaf.
+
+    ``free_tables`` lists relations whose attributes the leaf's
+    evaluation references (non-empty only for table-valued functions,
+    the d-join motivation of Section 5.1).  ``generator`` materializes
+    the rows: for base relations it ignores the context row; for table
+    functions it receives the current outer row.
+    """
+
+    name: str
+    cardinality: float = 100.0
+    free_tables: frozenset[str] = frozenset()
+    generator: Optional[Callable[[dict[str, Any]], list[dict[str, Any]]]] = None
+    #: unqualified attribute names; used by the engine for NULL padding
+    attributes: tuple[str, ...] = ()
+
+    @property
+    def is_table_function(self) -> bool:
+        return bool(self.free_tables)
+
+
+class TreeNode:
+    """Common base for leaves and operator nodes."""
+
+    def tables(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    def leaves(self) -> Iterator["LeafNode"]:
+        raise NotImplementedError
+
+    def operators(self) -> Iterator["OpNode"]:
+        raise NotImplementedError
+
+
+@dataclass
+class LeafNode(TreeNode):
+    relation: Relation
+
+    def tables(self) -> frozenset[str]:
+        return frozenset({self.relation.name})
+
+    def leaves(self) -> Iterator["LeafNode"]:
+        yield self
+
+    def operators(self) -> Iterator["OpNode"]:
+        return iter(())
+
+    def render(self) -> str:
+        return self.relation.name
+
+
+@dataclass
+class OpNode(TreeNode):
+    """A binary operator application ``left op_p right``."""
+
+    op: Operator
+    left: TreeNode
+    right: TreeNode
+    predicate: Predicate
+    aggregates: tuple[Aggregate, ...] = ()
+    _tables: Optional[frozenset[str]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.op.base_kind == NEST_KIND and not self.aggregates:
+            raise ValueError("a nestjoin needs at least one aggregate")
+        if self.op.base_kind != NEST_KIND and self.aggregates:
+            raise ValueError("only nestjoins take aggregates")
+
+    def tables(self) -> frozenset[str]:
+        if self._tables is None:
+            self._tables = self.left.tables() | self.right.tables()
+        return self._tables
+
+    def leaves(self) -> Iterator[LeafNode]:
+        yield from self.left.leaves()
+        yield from self.right.leaves()
+
+    def operators(self) -> Iterator["OpNode"]:
+        """All operator nodes of this subtree, post-order (bottom-up)."""
+        yield from self.left.operators()
+        yield from self.right.operators()
+        yield self
+
+    @property
+    def group_name(self) -> Optional[str]:
+        """Pseudo-relation name under which a nestjoin publishes its
+        aggregate attributes (``<op id>`` is not stable, so we derive it
+        from the aggregates' qualified names)."""
+        if not self.aggregates:
+            return None
+        return self.aggregates[0].name.split(".")[0]
+
+    def render(self) -> str:
+        return f"({self.left.render()} {self.op} {self.right.render()})"
+
+
+# -- constructors ---------------------------------------------------------
+
+
+def leaf(relation: Relation) -> LeafNode:
+    return LeafNode(relation)
+
+
+def node(
+    op: Operator,
+    left: TreeNode,
+    right: TreeNode,
+    predicate: Predicate,
+    aggregates: tuple[Aggregate, ...] = (),
+) -> OpNode:
+    return OpNode(op, left, right, predicate, aggregates)
+
+
+# -- structural services ---------------------------------------------------
+
+
+def available_attribute_tables(tree: TreeNode) -> frozenset[str]:
+    """Relations whose attributes are visible in the *output* of
+    ``tree``: semi/anti/nest joins hide their right input."""
+    if isinstance(tree, LeafNode):
+        return tree.tables()
+    assert isinstance(tree, OpNode)
+    visible = available_attribute_tables(tree.left)
+    if tree.op.right_side_visible:
+        visible |= available_attribute_tables(tree.right)
+    if tree.op.base_kind == NEST_KIND and tree.group_name:
+        visible |= frozenset({tree.group_name})
+    return visible
+
+
+def validate_tree(tree: TreeNode) -> None:
+    """Raise :class:`ValueError` if the tree is not a valid initial
+    operator tree:
+
+    * leaf names must be unique;
+    * every predicate references only attribute-visible relations of
+      its two inputs (plus, for dependent evaluation, the free tables
+      of table functions must resolve to relations *left* of the leaf);
+    * aggregate expressions of nestjoins may reference the right input.
+    """
+    names: list[str] = [leaf_node.relation.name for leaf_node in tree.leaves()]
+    if len(names) != len(set(names)):
+        raise ValueError(f"duplicate relation names in tree: {names}")
+    position = {name: i for i, name in enumerate(names)}
+    for leaf_node in tree.leaves():
+        relation = leaf_node.relation
+        for free in relation.free_tables:
+            if free not in position:
+                raise ValueError(
+                    f"table function {relation.name!r} references unknown "
+                    f"relation {free!r}"
+                )
+            if position[free] >= position[relation.name]:
+                raise ValueError(
+                    f"table function {relation.name!r} must appear right of "
+                    f"its provider {free!r}"
+                )
+    unresolved = unresolved_free_tables(tree)
+    if unresolved:
+        raise ValueError(
+            f"free variables {sorted(unresolved)} are never resolved by a "
+            "dependent operator"
+        )
+    if isinstance(tree, LeafNode):
+        return
+    assert isinstance(tree, OpNode)
+    for op_node in tree.operators():
+        visible = available_attribute_tables(op_node.left) | (
+            available_attribute_tables(op_node.right)
+        )
+        missing = op_node.predicate.tables - visible
+        if missing:
+            raise ValueError(
+                f"predicate {op_node.predicate} references relations "
+                f"{sorted(missing)} not visible at {op_node.render()}"
+            )
+
+
+def unresolved_free_tables(tree: TreeNode) -> frozenset[str]:
+    """Free tables of ``tree`` not resolved by any dependent operator.
+
+    A dependent operator resolves those free variables of its right
+    input that its left input produces; regular operators resolve
+    nothing (their right side is evaluated without an outer row).  A
+    valid initial tree has no unresolved frees at the root.
+    """
+    if isinstance(tree, LeafNode):
+        return tree.relation.free_tables
+    assert isinstance(tree, OpNode)
+    left_free = unresolved_free_tables(tree.left)
+    right_free = unresolved_free_tables(tree.right)
+    if tree.op.dependent:
+        right_free = right_free - tree.left.tables()
+    return left_free | right_free
+
+
+def normalize_commutative_children(tree: TreeNode) -> TreeNode:
+    """Appendix A.1/A.2 normalization, applied bottom-up.
+
+    For every operator ``o`` with predicate ``p`` and a *commutative*
+    child ``c``: if ``p`` references tables only in ``c``'s **left**
+    input, swap ``c``'s children.  Afterwards every conflict between
+    ``o`` and operators below ``c`` is of Case L2/R2, the case the
+    ``OC`` rules decide.  Returns a new tree; the input is not
+    modified.
+    """
+    if isinstance(tree, LeafNode):
+        return tree
+    assert isinstance(tree, OpNode)
+    left = normalize_commutative_children(tree.left)
+    right = normalize_commutative_children(tree.right)
+    predicate_tables = tree.predicate.tables
+
+    def maybe_swap(child: TreeNode) -> TreeNode:
+        if not isinstance(child, OpNode) or not child.op.commutative:
+            return child
+        touches_left = bool(predicate_tables & child.left.tables())
+        touches_right = bool(predicate_tables & child.right.tables())
+        if touches_left and not touches_right:
+            return replace(child, left=child.right, right=child.left,
+                           _tables=None)
+        return child
+
+    return replace(
+        tree, left=maybe_swap(left), right=maybe_swap(right), _tables=None
+    )
+
+
+def leaf_order(tree: TreeNode) -> list[Relation]:
+    """Relations in left-to-right order — the node numbering of
+    Section 5.4 ("if R occurs left of S, then R ≺ S")."""
+    return [leaf_node.relation for leaf_node in tree.leaves()]
+
+
+def render_tree(tree: TreeNode) -> str:
+    if isinstance(tree, LeafNode):
+        return tree.render()
+    assert isinstance(tree, OpNode)
+    return tree.render()

@@ -1,0 +1,143 @@
+"""Plan construction for non-inner-join queries (Sections 5.4–5.6).
+
+:class:`OperatorPlanBuilder` is the Section-5 counterpart of
+:class:`repro.core.plans.JoinPlanBuilder`.  When EmitCsgCmp hands it a
+csg-cmp-pair plus the connecting hyperedges it must:
+
+1. recover the originating operator from the edge payloads
+   (Section 5.4) and respect non-commutativity — the enumeration emits
+   each pair once with ``min(S1) < min(S2)``, so the builder checks
+   which side of the (left-to-right ordered) operator each plan class
+   belongs to;
+2. refuse to *merge* predicates of different non-inner operators into
+   one node — conjoining an extra predicate into an outer/semi/anti
+   join's ON condition changes semantics, unlike for inner joins;
+3. make the dependent-or-regular decision (Section 5.6): the operator
+   becomes its dependent counterpart iff the right input still has free
+   tables resolved by the left input, ``FT(P2) ∩ S1 ≠ ∅``; a *left*
+   input with free tables into the right side is invalid outright.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from ..core import bitset
+from ..core.hypergraph import Hyperedge, Hypergraph
+from ..core.plans import Plan, PlanBuilder
+from ..core.stats import SearchStats
+from ..cost.cardinality import operator_cardinality
+from ..cost.models import CostModel, CoutModel
+from .hyperedges import CompiledQuery, EdgeInfo
+from .operators import FULL_OUTER_KIND, JOIN, Operator
+
+#: optional late-filter hook: (plan1, plan2, edges) -> bool
+PairCheck = Callable[[Plan, Plan, Sequence[Hyperedge]], bool]
+
+
+class OperatorPlanBuilder(PlanBuilder):
+    """Builds operator plans from csg-cmp-pairs of a compiled query."""
+
+    def __init__(
+        self,
+        compiled: CompiledQuery,
+        cost_model: Optional[CostModel] = None,
+        stats: Optional[SearchStats] = None,
+        pair_check: Optional[PairCheck] = None,
+    ) -> None:
+        self.compiled = compiled
+        self.graph: Hypergraph = compiled.graph
+        self.cost_model = cost_model if cost_model is not None else CoutModel()
+        self.stats = stats if stats is not None else SearchStats()
+        self.pair_check = pair_check
+
+    def leaf(self, node: int) -> Plan:
+        relation = self.compiled.analysis.relations[node]
+        card = float(relation.cardinality)
+        return Plan(
+            nodes=bitset.singleton(node),
+            left=None,
+            right=None,
+            operator=None,
+            edges=(),
+            cardinality=card,
+            cost=self.cost_model.leaf_cost(card),
+            free_tables=self.compiled.free_tables[node],
+        )
+
+    def join_ordered(
+        self, p1: Plan, p2: Plan, edges: Sequence[Hyperedge]
+    ) -> list[Plan]:
+        operator = self._recover_operator(p1, p2, edges)
+        if operator is None:
+            return []
+        if self.pair_check is not None and not self.pair_check(p1, p2, edges):
+            return []
+        # Dependency handling (Section 5.6): the left input must be
+        # self-contained w.r.t. the right side; unresolved right-side
+        # frees switch the operator to its dependent counterpart.
+        if p1.free_tables & p2.nodes:
+            return []
+        if p2.free_tables & p1.nodes:
+            if operator.base_kind == FULL_OUTER_KIND:
+                return []
+            operator = operator.to_dependent()
+        selectivity = 1.0
+        for edge in edges:
+            selectivity *= edge.selectivity
+        cardinality = operator_cardinality(
+            operator.kind, p1.cardinality, p2.cardinality, selectivity
+        )
+        cost = self.cost_model.join_cost(operator, p1, p2, cardinality)
+        self.stats.cost_calls += 1
+        free = (p1.free_tables | p2.free_tables) & ~(p1.nodes | p2.nodes)
+        return [
+            Plan(
+                nodes=p1.nodes | p2.nodes,
+                left=p1,
+                right=p2,
+                operator=operator,
+                edges=tuple(edges),
+                cardinality=cardinality,
+                cost=cost,
+                free_tables=free,
+            )
+        ]
+
+    def _recover_operator(
+        self, p1: Plan, p2: Plan, edges: Sequence[Hyperedge]
+    ) -> Optional[Operator]:
+        """Determine the operator for applying ``p1 <op> p2``.
+
+        Returns ``None`` when this orientation (or edge combination)
+        must not produce a plan.
+        """
+        non_inner = [
+            edge
+            for edge in edges
+            if isinstance(edge.payload, EdgeInfo) and not edge.payload.is_inner
+        ]
+        if not non_inner:
+            return JOIN
+        if len(non_inner) > 1:
+            # Two non-inner operators would have to merge their
+            # predicates into a single node — never valid.
+            return None
+        if len(edges) > 1:
+            # Mixing a non-inner operator's predicate with extra inner
+            # predicates at one node changes semantics (the inner
+            # predicate would wrongly null / filter / group) — reject;
+            # other splits of the same plan class cover these orders.
+            return None
+        edge = non_inner[0]
+        operator = edge.payload.operator
+        if operator.commutative:
+            return operator
+        # Non-commutative: the edge's left hypernode is pinned to the
+        # operator's left argument (relations are numbered left-to-right
+        # in the operator tree, Section 5.4).
+        if bitset.is_subset(edge.left, p1.nodes) and bitset.is_subset(
+            edge.right, p2.nodes
+        ):
+            return operator
+        return None

@@ -1,0 +1,37 @@
+"""Syntactic eligibility sets (SES), Section 5.5.
+
+The SES of an operator captures the hard syntactic requirement: every
+relation whose attributes the operator's predicate (and, for
+nestjoins, its aggregate expressions) references must be present in the
+operator's arguments before the predicate can be evaluated.
+
+Definitions from the paper::
+
+    SES(R)   = {R}                                (base relation)
+    SES(T)   = {T}                                (table-valued function)
+    SES(o_p) = ∪_{R ∈ FT(p)} SES(R) ∩ T(o_p)      (any join but nestjoin)
+    SES(nl)  = ∪_{R ∈ FT(p) ∪ FT(e_i)} SES(R) ∩ T(nl)   (nestjoin)
+
+Relations referenced by a predicate that are *not* in the operator's
+subtree (e.g. a nestjoin's published aggregate pseudo-relation, or the
+free variables of a table function) are dealt with by the dedicated
+CalcTES rules, not by SES.
+"""
+
+from __future__ import annotations
+
+from .operators import NEST_KIND
+from .optree import OpNode
+
+
+def ses_tables(op_node: OpNode) -> frozenset[str]:
+    """``SES(o)`` as a set of relation names.
+
+    Since ``SES(R) = {R}`` for every leaf, the union collapses to the
+    referenced relations intersected with the subtree's relations.
+    """
+    referenced = op_node.predicate.tables
+    if op_node.op.base_kind == NEST_KIND:
+        for aggregate in op_node.aggregates:
+            referenced = referenced | aggregate.tables
+    return referenced & op_node.tables()

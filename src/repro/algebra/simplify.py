@@ -1,0 +1,129 @@
+"""Outer-join simplification (the paper's standing preprocessing).
+
+Section 5.2: "we assume that all proposed simplifications [2, 11] have
+been applied" before conflict analysis.  This module implements the
+classical null-rejection rewrites of Galindo-Legaria & Rosenthal and
+Bhargava et al. so initial trees can be fed in unsimplified:
+
+* ``R leftouter_p S``  →  ``R join_p S`` when some *ancestor* predicate
+  is strong (null-rejecting) on ``S``: NULL-padded tuples cannot
+  survive it, so the padding is pointless.
+* ``R fullouter_p S``  →  ``R leftouter_p S`` when an ancestor
+  predicate is strong on ``R`` (right-side padding dies), symmetric to
+  ``rightouter`` — which we immediately re-express as a left outer join
+  with swapped children — and to ``join`` when both sides are rejected.
+
+All predicates built by :mod:`repro.algebra.expr` are strong on every
+relation they reference (comparisons with NULL are never true), which
+is also the paper's assumption; strongness is therefore "references the
+relation".
+
+The pass runs top-down with the set of relations that some enclosing
+predicate null-rejects, then rebuilds the tree bottom-up.  It never
+touches semi/anti/nest joins (their right side produces no attributes
+an ancestor could reject).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .operators import (
+    ANTI_KIND,
+    FULL_OUTER_KIND,
+    JOIN,
+    LEFT_OUTER,
+    LEFT_OUTER_KIND,
+    NEST_KIND,
+)
+from .optree import LeafNode, OpNode, TreeNode
+
+
+def _strong_tables(predicate) -> frozenset[str]:
+    """Relations on which ``predicate`` is null-rejecting.
+
+    Every predicate class in this library evaluates to *not satisfied*
+    when any referenced attribute is NULL, so this is ``FT(p)``.
+    """
+    return predicate.tables
+
+
+def simplify_outer_joins(tree: TreeNode) -> TreeNode:
+    """Return an equivalent tree with unnecessary outer joins demoted.
+
+    The input tree is not modified.  Apply *before*
+    :func:`repro.algebra.pipeline.optimize_operator_tree` (which does
+    not call this automatically: the paper treats simplification as a
+    separate, earlier phase, and keeping it explicit makes the
+    Fig. 8b-style workloads — where outer joins must survive —
+    reproducible).
+    """
+    return _simplify(tree, frozenset())
+
+
+def _simplify(tree: TreeNode, rejected: frozenset[str]) -> TreeNode:
+    """``rejected`` holds relations null-rejected by enclosing
+    predicates *applied above this subtree*."""
+    if isinstance(tree, LeafNode):
+        return tree
+    assert isinstance(tree, OpNode)
+    op = tree.op
+    here = _strong_tables(tree.predicate)
+
+    if op.base_kind == FULL_OUTER_KIND:
+        # left_dead: an ancestor rejects NULLs in *left*-side attributes,
+        # killing the left-padded rows (= right-unmatched right rows);
+        # what survives is a left outer join.  right_dead kills the
+        # right-padded rows (= unmatched left rows); the survivors form
+        # a RIGHT outer join, expressed as a left outer with swapped
+        # children.  Both: plain join.
+        left_dead = bool(rejected & tree.left.tables())
+        right_dead = bool(rejected & tree.right.tables())
+        if left_dead and right_dead:
+            op = JOIN
+        elif left_dead:
+            op = LEFT_OUTER
+        elif right_dead:
+            tree = replace(
+                tree, left=tree.right, right=tree.left, _tables=None
+            )
+            op = LEFT_OUTER
+    elif op.base_kind == LEFT_OUTER_KIND:
+        if rejected & tree.right.tables():
+            op = JOIN.to_dependent() if op.dependent else JOIN
+
+    # What flows down: ancestors' rejections always pass through (rows
+    # of both inputs that reach the output keep their attributes), plus
+    # this node's own predicate — but only into inputs where *failing*
+    # the predicate excludes a row from the result:
+    #  - inner and semi joins drop non-matching left rows and never use
+    #    non-matching right rows: both sides;
+    #  - antijoins KEEP never-matching (hence NULL-padded) left rows,
+    #    left outer joins and nestjoins keep every left row: only the
+    #    right side, where padded rows can never act as join partners;
+    #  - the full outer join keeps non-matching rows of both sides:
+    #    neither.
+    if op.base_kind == FULL_OUTER_KIND:
+        left_rejected = rejected
+        right_rejected = rejected
+    elif op.base_kind in (LEFT_OUTER_KIND, ANTI_KIND, NEST_KIND):
+        left_rejected = rejected
+        right_rejected = rejected | here
+    else:  # inner join (incl. dependent) and semijoin
+        left_rejected = rejected | here
+        right_rejected = rejected | here
+
+    new_left = _simplify(tree.left, left_rejected)
+    new_right = _simplify(tree.right, right_rejected)
+    if new_left is tree.left and new_right is tree.right and op is tree.op:
+        return tree
+    return replace(tree, op=op, left=new_left, right=new_right, _tables=None)
+
+
+def count_outer_joins(tree: TreeNode) -> int:
+    """Outer-join operators in ``tree`` (for tests and reporting)."""
+    if isinstance(tree, LeafNode):
+        return 0
+    assert isinstance(tree, OpNode)
+    own = 1 if tree.op.base_kind in (LEFT_OUTER_KIND, FULL_OUTER_KIND) else 0
+    return own + count_outer_joins(tree.left) + count_outer_joins(tree.right)

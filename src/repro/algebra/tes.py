@@ -1,0 +1,218 @@
+"""Total eligibility sets (TES) — CalcTES with conflict rules
+(Section 5.5 and Appendix A).
+
+TES starts as SES and is enlarged whenever reordering two operators
+would be invalid: if descendant ``o2`` conflicts with ancestor ``o1``,
+the entire ``TES(o2)`` is folded into ``TES(o1)``, pinning those
+relations to the corresponding side of ``o1``'s hyperedge.
+
+The conflict test factorizes into
+
+* a *table* condition — the ancestor's predicate touches tables that a
+  rotation would move into the other argument of the descendant
+  (``LC`` via ``RightTables`` / ``RC`` via ``LeftTables``), and
+* an *operator* condition ``OC`` derived from the equivalence tables of
+  Fig. 9 (see :func:`repro.algebra.operators.operator_conflict`).
+
+A third rule handles nestjoins: an ancestor whose predicate references
+a nestjoin's published aggregate attribute cannot be pushed below that
+nestjoin, so the nestjoin's TES is folded in as well.
+
+The analysis also records which part of each TES came from conflicts
+(rather than from the operator's own SES): Section 6 allows a
+predicate's *flex* relations to float between hyperedge sides only as
+long as no conflict pinned them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from ..core.bitset import NodeSet
+from .operators import operator_conflict
+from .optree import LeafNode, OpNode, Relation, TreeNode, leaf_order
+from .ses import ses_tables
+
+
+@dataclass
+class OperatorInfo:
+    """Per-operator analysis results."""
+
+    node: OpNode
+    ses: NodeSet
+    tes: NodeSet
+    #: subset of ``tes`` contributed by conflicts (pins flex tables)
+    conflict_tables: NodeSet = 0
+    left_tables: NodeSet = 0
+    right_tables: NodeSet = 0
+
+
+@dataclass
+class ConflictAnalysis:
+    """The full Section 5.5 analysis of one operator tree."""
+
+    tree: TreeNode
+    relations: list[Relation]
+    index_of: dict[str, int]
+    operators: list[OperatorInfo] = field(default_factory=list)
+
+    @property
+    def n_relations(self) -> int:
+        return len(self.relations)
+
+    def bitmap(self, names) -> NodeSet:
+        """Relation-name set -> node-set bitmap (unknown names — e.g.
+        nestjoin pseudo-relations — are skipped)."""
+        result = 0
+        for name in names:
+            node = self.index_of.get(name)
+            if node is not None:
+                result |= 1 << node
+        return result
+
+
+def analyze(tree: TreeNode) -> ConflictAnalysis:
+    """Run CalcTES over a validated, normalized operator tree."""
+    relations = leaf_order(tree)
+    index_of = {relation.name: i for i, relation in enumerate(relations)}
+    analysis = ConflictAnalysis(tree, relations, index_of)
+    if isinstance(tree, LeafNode):
+        return analysis
+
+    assert isinstance(tree, OpNode)
+    ops = list(tree.operators())  # post-order: descendants first
+    info_of: dict[int, OperatorInfo] = {}
+    for op_node in ops:
+        info = OperatorInfo(
+            node=op_node,
+            ses=analysis.bitmap(ses_tables(op_node)),
+            tes=0,
+            left_tables=analysis.bitmap(op_node.left.tables()),
+            right_tables=analysis.bitmap(op_node.right.tables()),
+        )
+        info.tes = info.ses
+        info_of[id(op_node)] = info
+        analysis.operators.append(info)
+
+    for op_node in ops:  # bottom-up completion of TES
+        info = info_of[id(op_node)]
+        predicate_tables = analysis.bitmap(op_node.predicate.tables)
+        _collect_conflicts(
+            analysis, info_of, info, op_node, predicate_tables
+        )
+        _collect_nestjoin_conflicts(info_of, info, op_node)
+    return analysis
+
+
+def _collect_conflicts(
+    analysis: ConflictAnalysis,
+    info_of: dict[int, OperatorInfo],
+    info: OperatorInfo,
+    op_node: OpNode,
+    predicate_tables: NodeSet,
+) -> None:
+    """The two descendant loops of CalcTES, commutation-closed.
+
+    The paper's walk is side-specific: descendants of ``left(o1)`` are
+    tested with ``LeftConflict`` (tables that rotations would move into
+    the *right* argument of ``o2``), descendants of ``right(o1)`` with
+    ``RightConflict``.  Taken literally this misses conflicts that
+    become reachable by *commuting* operators first: with ``o1``
+    commutative its sides swap, and a commutative operator on the path
+    can swap which of its subtrees ends up on a "right branch".  (The
+    in-paper normalization does not close this gap — it can even move a
+    conflicting descendant to the side the walk does not test; see
+    DESIGN.md.)  We therefore:
+
+    * let commutative *path* operators contribute both subtrees to the
+      accumulated path tables,
+    * test descendants of both subtrees with *both* conflict rules when
+      ``o1`` itself is commutative, and
+    * seed the path accumulators with ``o1``'s *other* argument — the
+      descendant's reordered position would sit next to it.  Because a
+      predicate virtually always references its operator's other side,
+      this makes the table condition nearly always true, so conflicts
+      reduce to the ``OC`` operator table.  This matches the behaviour
+      the paper's own evaluation describes ("the outer joins cannot be
+      reordered with inner joins", Sec. 5.8) and is what produces the
+      O(n^2) -> O(n) search-space collapse claimed for the antijoin
+      star in Sec. 5.7.
+
+    All three refinements are conservative: they may pin more than
+    strictly necessary (shrinking the search space — the 2013 follow-up
+    paper formalizes this incompleteness of the 2008 rules) but never
+    produce an invalid plan, which is the property the engine-backed
+    fuzz tests enforce.
+    """
+
+    def walk(node: TreeNode, right_acc: NodeSet, left_acc: NodeSet,
+             on_left_side: bool) -> None:
+        if isinstance(node, LeafNode):
+            return
+        assert isinstance(node, OpNode)
+        other = info_of[id(node)]
+        # Path accumulators from o2 (inclusive) up to o1 (exclusive);
+        # commutative path nodes may present either subtree on either
+        # branch after reordering, so they contribute both.
+        if node.op.commutative:
+            acc_right = right_acc | other.right_tables | other.left_tables
+            acc_left = left_acc | other.left_tables | other.right_tables
+        else:
+            acc_right = right_acc | other.right_tables
+            acc_left = left_acc | other.left_tables
+        lc = predicate_tables & acc_right != 0
+        rc = predicate_tables & acc_left != 0
+        check_lc = on_left_side or op_node.op.commutative
+        check_rc = (not on_left_side) or op_node.op.commutative
+        conflict = (
+            check_lc and lc and operator_conflict(node.op, op_node.op)
+        ) or (
+            check_rc and rc and operator_conflict(op_node.op, node.op)
+        )
+        if conflict:
+            info.tes |= other.tes
+            info.conflict_tables |= other.tes
+        walk(node.left, acc_right, acc_left, on_left_side)
+        walk(node.right, acc_right, acc_left, on_left_side)
+
+    # Seed with the ancestor's other argument (see docstring): for left
+    # descendants, o1's right side is on their path's right branch; for
+    # right descendants, o1's left side is on the left branch.
+    walk(
+        op_node.left,
+        info.right_tables,
+        info.right_tables,
+        on_left_side=True,
+    )
+    walk(
+        op_node.right,
+        info.left_tables,
+        info.left_tables,
+        on_left_side=False,
+    )
+
+
+def _collect_nestjoin_conflicts(
+    info_of: dict[int, OperatorInfo],
+    info: OperatorInfo,
+    op_node: OpNode,
+) -> None:
+    """Third CalcTES loop: ``∃ a_i : a_i ∈ F(p1)`` — the ancestor's
+    predicate references a published aggregate attribute."""
+    referenced = op_node.predicate.tables
+    for descendant in op_node.left.operators():
+        _maybe_add_nest(info_of, info, descendant, referenced)
+    for descendant in op_node.right.operators():
+        _maybe_add_nest(info_of, info, descendant, referenced)
+
+
+def _maybe_add_nest(
+    info_of: dict[int, OperatorInfo],
+    info: OperatorInfo,
+    descendant: OpNode,
+    referenced: frozenset[str],
+) -> None:
+    group = descendant.group_name
+    if group is not None and group in referenced:
+        other = info_of[id(descendant)]
+        info.tes |= other.tes
+        info.conflict_tables |= other.tes

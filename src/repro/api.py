@@ -1,0 +1,94 @@
+"""High-level entry points.
+
+Most users only need :func:`optimize`: hand it a hypergraph (or an
+operator tree for non-inner-join queries via
+:func:`repro.algebra.optimize_operator_tree`), pick an algorithm, and
+get an optimal :class:`~repro.core.plans.Plan` plus search statistics
+back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .core.dpccp import solve_dpccp
+from .core.dphyp import solve_dphyp
+from .core.dpsize import solve_dpsize
+from .core.dpsub import solve_dpsub
+from .core.greedy import solve_greedy
+from .core.hypergraph import Hypergraph
+from .core.plans import JoinPlanBuilder, Plan, PlanBuilder
+from .core.stats import SearchStats
+from .core.topdown import solve_topdown
+from .cost.models import CostModel
+
+#: Algorithm registry: name -> solver(graph, builder, stats).
+ALGORITHMS = {
+    "dphyp": solve_dphyp,
+    "dpccp": solve_dpccp,
+    "dpsize": solve_dpsize,
+    "dpsub": solve_dpsub,
+    "topdown": solve_topdown,
+    "greedy": solve_greedy,
+}
+
+
+@dataclass
+class OptimizationResult:
+    """Everything a caller wants back from one optimizer run."""
+
+    plan: Optional[Plan]
+    stats: SearchStats
+    algorithm: str
+
+    @property
+    def cost(self) -> float:
+        if self.plan is None:
+            raise ValueError("query has no cross-product-free plan")
+        return self.plan.cost
+
+    @property
+    def cardinality(self) -> float:
+        if self.plan is None:
+            raise ValueError("query has no cross-product-free plan")
+        return self.plan.cardinality
+
+
+def optimize(
+    graph: Hypergraph,
+    cardinalities: Optional[Sequence[float]] = None,
+    algorithm: str = "dphyp",
+    cost_model: Optional[CostModel] = None,
+    builder: Optional[PlanBuilder] = None,
+) -> OptimizationResult:
+    """Find the optimal cross-product-free join order for ``graph``.
+
+    Args:
+        graph: the query hypergraph.  Must be connected; use
+            :meth:`Hypergraph.make_connected` first if it is not.
+        cardinalities: base cardinality per relation; defaults to
+            ``10.0`` for every relation when neither ``cardinalities``
+            nor ``builder`` is given.
+        algorithm: one of ``dphyp`` (default), ``dpccp`` (simple graphs
+            only), ``dpsize``, ``dpsub``, ``topdown``, ``greedy``.
+        cost_model: cost model for the default builder
+            (default ``C_out``).
+        builder: a fully custom plan builder; overrides
+            ``cardinalities`` and ``cost_model``.
+
+    Returns:
+        An :class:`OptimizationResult` with plan (``None`` when the
+        graph is disconnected / unplannable) and search statistics.
+    """
+    if algorithm not in ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; pick one of {sorted(ALGORITHMS)}"
+        )
+    stats = SearchStats()
+    if builder is None:
+        if cardinalities is None:
+            cardinalities = [10.0] * graph.n_nodes
+        builder = JoinPlanBuilder(graph, cardinalities, cost_model, stats)
+    plan = ALGORITHMS[algorithm](graph, builder, stats)
+    return OptimizationResult(plan=plan, stats=stats, algorithm=algorithm)

@@ -1,0 +1,28 @@
+"""Benchmark harness: timing, experiment drivers for every table and
+figure of the paper, and paper-style reporting."""
+
+from .experiments import EXPERIMENTS
+from .harness import (
+    ExperimentResult,
+    Measurement,
+    Series,
+    measure_algorithm,
+    measure_tree,
+    scaled,
+    time_call,
+)
+from .reporting import render_markdown, render_table, summarize_winners
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "Measurement",
+    "Series",
+    "measure_algorithm",
+    "measure_tree",
+    "scaled",
+    "time_call",
+    "render_markdown",
+    "render_table",
+    "summarize_winners",
+]

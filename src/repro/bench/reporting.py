@@ -1,0 +1,103 @@
+"""Paper-style text rendering of experiment results.
+
+The paper reports small configurations as tables ("splits | DPhyp |
+DPsize | DPsub") and larger ones as time-over-x curves; we print both
+as aligned text tables with one row per x value and one time column per
+algorithm, plus the hardware-independent ccp counts.
+"""
+
+from __future__ import annotations
+
+from .harness import ExperimentResult
+
+
+def _format_ms(value: float) -> str:
+    if value >= 100:
+        return f"{value:.0f}"
+    if value >= 1:
+        return f"{value:.2f}"
+    return f"{value:.3f}"
+
+
+def render_table(result: ExperimentResult, show_ccp: bool = True) -> str:
+    """Render one experiment as an aligned text table."""
+    headers = [result.x_label]
+    for series in result.series:
+        headers.append(f"{series.label} [ms]")
+    if show_ccp:
+        for series in result.series:
+            headers.append(f"{series.label} #ccp")
+    rows: list[list[str]] = []
+    for x in result.x_values:
+        row = [str(x)]
+        for series in result.series:
+            point = series.points.get(x)
+            row.append(_format_ms(point.milliseconds) if point else "-")
+        if show_ccp:
+            for series in result.series:
+                point = series.points.get(x)
+                row.append(str(point.ccp) if point else "-")
+        rows.append(row)
+
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows))
+        for i in range(len(headers))
+    ]
+    lines = [result.title]
+    lines.append("  " + "  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  " + "  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  " + "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+    if result.notes:
+        lines.append(f"  note: {result.notes}")
+    return "\n".join(lines)
+
+
+def render_markdown(result: ExperimentResult) -> str:
+    """Markdown table variant (used to refresh EXPERIMENTS.md)."""
+    headers = [result.x_label] + [
+        f"{series.label} [ms]" for series in result.series
+    ] + [f"{series.label} #ccp" for series in result.series]
+    lines = [f"### {result.title}", ""]
+    lines.append("| " + " | ".join(headers) + " |")
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for x in result.x_values:
+        cells = [str(x)]
+        for series in result.series:
+            point = series.points.get(x)
+            cells.append(_format_ms(point.milliseconds) if point else "-")
+        for series in result.series:
+            point = series.points.get(x)
+            cells.append(str(point.ccp) if point else "-")
+        lines.append("| " + " | ".join(cells) + " |")
+    if result.notes:
+        lines.append("")
+        lines.append(f"*{result.notes}*")
+    return "\n".join(lines)
+
+
+def summarize_winners(result: ExperimentResult) -> str:
+    """One-line shape summary: who wins at the largest x, by what factor
+    — the property we reproduce even though absolute times differ from
+    the paper's hardware."""
+    last_x = None
+    for x in reversed(result.x_values):
+        if all(series.points.get(x) for series in result.series):
+            last_x = x
+            break
+    if last_x is None:
+        return "no common largest point"
+    timed = sorted(
+        (series.points[last_x].milliseconds, series.label)
+        for series in result.series
+    )
+    best_ms, best = timed[0]
+    worst_ms, worst = timed[-1]
+    factor = worst_ms / best_ms if best_ms > 0 else float("inf")
+    return (
+        f"at {result.x_label}={last_x}: {best} fastest "
+        f"({_format_ms(best_ms)} ms), {worst} slowest "
+        f"({_format_ms(worst_ms)} ms), factor {factor:.1f}x"
+    )

@@ -1,0 +1,36 @@
+"""Core join-enumeration machinery: hypergraphs, DPhyp, and baselines."""
+
+from .bitset import NodeSet
+from .dpccp import DPccp, solve_dpccp
+from .dphyp import DPhyp, solve_dphyp
+from .dpsize import solve_dpsize
+from .dpsub import solve_dpsub
+from .dptable import DPTable
+from .greedy import solve_greedy
+from .hypergraph import Hyperedge, Hypergraph, simple_edge
+from .neighborhood import NeighborhoodIndex
+from .plans import JoinPlanBuilder, Plan, PlanBuilder
+from .stats import SearchStats
+from .topdown import TopDownMemo, solve_topdown
+
+__all__ = [
+    "NodeSet",
+    "DPccp",
+    "solve_dpccp",
+    "DPhyp",
+    "solve_dphyp",
+    "solve_dpsize",
+    "solve_dpsub",
+    "DPTable",
+    "solve_greedy",
+    "Hyperedge",
+    "Hypergraph",
+    "simple_edge",
+    "NeighborhoodIndex",
+    "JoinPlanBuilder",
+    "Plan",
+    "PlanBuilder",
+    "SearchStats",
+    "TopDownMemo",
+    "solve_topdown",
+]

@@ -1,0 +1,183 @@
+"""Bitset representation of relation sets.
+
+The whole library represents a set of relations (the nodes ``V`` of a
+query hypergraph) as a plain Python ``int`` used as a bit vector: node
+``i`` corresponds to bit ``1 << i``.  The paper's total order ``R_i
+≺ R_j  <=>  i < j`` therefore coincides with bit position order, so
+``min(S)`` from the paper is simply the lowest set bit.
+
+Python ints are arbitrary precision, so queries are not limited to 64
+relations, and all set operations (union ``|``, intersection ``&``,
+difference ``& ~``) are single C-level operations, which is what makes
+a pure-Python DPhyp tolerably fast.
+
+This module collects the handful of primitives the enumeration
+algorithms need, most importantly :func:`subsets`, the Vance--Maier
+subset enumeration the paper relies on ([24] in the paper).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+#: Type alias used throughout the library: a set of nodes as a bitmap.
+NodeSet = int
+
+EMPTY: NodeSet = 0
+
+
+def singleton(node: int) -> NodeSet:
+    """Return the set containing exactly ``node``."""
+    return 1 << node
+
+
+def set_of(*nodes: int) -> NodeSet:
+    """Return the set containing exactly the given node indices."""
+    result = 0
+    for node in nodes:
+        result |= 1 << node
+    return result
+
+
+def from_iterable(nodes) -> NodeSet:
+    """Build a node set from any iterable of node indices."""
+    result = 0
+    for node in nodes:
+        result |= 1 << node
+    return result
+
+
+def is_subset(a: NodeSet, b: NodeSet) -> bool:
+    """Return True iff ``a`` is a (non-strict) subset of ``b``."""
+    return a & b == a
+
+
+def is_disjoint(a: NodeSet, b: NodeSet) -> bool:
+    """Return True iff ``a`` and ``b`` share no node."""
+    return a & b == 0
+
+
+def contains(s: NodeSet, node: int) -> bool:
+    """Return True iff node index ``node`` is a member of ``s``."""
+    return s >> node & 1 == 1
+
+
+def min_bit(s: NodeSet) -> NodeSet:
+    """Return ``{min(S)}`` as a bitmap (lowest set bit of ``s``).
+
+    For ``s == 0`` this returns 0, matching the paper's convention that
+    ``min(emptyset)`` is empty.
+    """
+    return s & -s
+
+
+def min_node(s: NodeSet) -> int:
+    """Return the index of the minimal node of ``s``.
+
+    Raises :class:`ValueError` on the empty set, as there is no minimum.
+    """
+    if s == 0:
+        raise ValueError("min_node of empty node set")
+    return (s & -s).bit_length() - 1
+
+
+def max_node(s: NodeSet) -> int:
+    """Return the index of the maximal node of ``s``."""
+    if s == 0:
+        raise ValueError("max_node of empty node set")
+    return s.bit_length() - 1
+
+
+def without_min(s: NodeSet) -> NodeSet:
+    """Return ``S \\ min(S)`` (the paper's overlined-min operator)."""
+    return s & (s - 1)
+
+
+def count(s: NodeSet) -> int:
+    """Return ``|S|``, the number of nodes in the set."""
+    return s.bit_count()
+
+
+def iter_nodes(s: NodeSet) -> Iterator[int]:
+    """Iterate the node indices of ``s`` in ascending order."""
+    while s:
+        low = s & -s
+        yield low.bit_length() - 1
+        s ^= low
+
+
+def iter_nodes_descending(s: NodeSet) -> Iterator[int]:
+    """Iterate the node indices of ``s`` in descending order.
+
+    ``Solve`` and ``EmitCsg`` both walk nodes in decreasing order of
+    the paper's node ordering, which is bit order here.
+    """
+    while s:
+        node = s.bit_length() - 1
+        yield node
+        s ^= 1 << node
+
+
+def subsets(s: NodeSet) -> Iterator[NodeSet]:
+    """Enumerate every non-empty subset of ``s``.
+
+    This is the Vance--Maier enumeration: ``sub = (sub - 1) & s``
+    visits all submasks.  We emit them in *increasing* numeric order,
+    which conveniently enumerates subsets before any of their
+    proper supersets that share the same low bits; the DP algorithms do
+    not rely on this order, only the tests do for determinism.
+    """
+    sub = (-s) & s  # lowest bit == smallest non-empty submask
+    while sub:
+        yield sub
+        sub = (sub - s) & s  # next submask in increasing order
+
+
+def subsets_descending(s: NodeSet) -> Iterator[NodeSet]:
+    """Enumerate every non-empty subset of ``s`` in decreasing order."""
+    sub = s
+    while sub:
+        yield sub
+        sub = (sub - 1) & s
+
+
+def proper_subsets(s: NodeSet) -> Iterator[NodeSet]:
+    """Enumerate every non-empty *proper* subset of ``s``."""
+    for sub in subsets(s):
+        if sub != s:
+            yield sub
+
+
+def below(node: int) -> NodeSet:
+    """Return ``B_v = {w | w <= v}`` as a bitmap (paper Sec. 3.1)."""
+    return (1 << (node + 1)) - 1
+
+
+def strictly_below(node: int) -> NodeSet:
+    """Return ``{w | w < v}`` as a bitmap."""
+    return (1 << node) - 1
+
+
+def full_set(n: int) -> NodeSet:
+    """Return the set of all ``n`` nodes ``{0, ..., n-1}``."""
+    return (1 << n) - 1
+
+
+def to_sorted_tuple(s: NodeSet) -> tuple[int, ...]:
+    """Return the node indices of ``s`` as an ascending tuple."""
+    return tuple(iter_nodes(s))
+
+
+def format_set(s: NodeSet, names=None) -> str:
+    """Render a node set as ``{R0, R2}`` for debugging and reports.
+
+    ``names`` may be a sequence of node names; by default nodes are
+    rendered as ``R<i>``.
+    """
+    if s == 0:
+        return "{}"
+    if names is None:
+        parts = [f"R{i}" for i in iter_nodes(s)]
+    else:
+        parts = [str(names[i]) for i in iter_nodes(s)]
+    return "{" + ", ".join(parts) + "}"

@@ -1,0 +1,98 @@
+"""Closed-form search-space sizes for the classic query shapes.
+
+The paper's predecessor ([17], Moerkotte & Neumann, VLDB 2006) derives
+the number of connected subgraphs (#csg = DP table entries) and
+csg-cmp-pairs (#ccp = the lower bound on cost-function calls of any DP
+algorithm) for chains, cycles, stars and cliques.  These formulas are
+the analytical backbone of the evaluation: DPhyp's ``ccp_emitted``
+must equal #ccp exactly, and the benchmark discussion reasons about
+growth rates with them.
+"""
+
+from __future__ import annotations
+
+
+def chain_csg(n: int) -> int:
+    """Connected subgraphs of a chain of ``n`` relations:
+    every contiguous interval, ``n(n+1)/2``."""
+    _check(n, minimum=1)
+    return n * (n + 1) // 2
+
+
+def chain_ccp(n: int) -> int:
+    """csg-cmp-pairs of a chain: ``(n³ − n) / 6``."""
+    _check(n, minimum=1)
+    return (n ** 3 - n) // 6
+
+
+def cycle_csg(n: int) -> int:
+    """Connected subgraphs of a cycle: every rotation of every proper
+    interval plus the full set, ``n(n−1) + 1``."""
+    _check(n, minimum=3)
+    return n * (n - 1) + 1
+
+
+def cycle_ccp(n: int) -> int:
+    """csg-cmp-pairs of a cycle: ``(n³ − 2n² + n) / 2``."""
+    _check(n, minimum=3)
+    return (n ** 3 - 2 * n ** 2 + n) // 2
+
+
+def star_csg(n: int) -> int:
+    """Connected subgraphs of a star with ``n`` relations total
+    (hub + n−1 satellites): hub-containing subsets plus the
+    singletons, ``2^(n−1) + n − 1``."""
+    _check(n, minimum=2)
+    return 2 ** (n - 1) + n - 1
+
+
+def star_ccp(n: int) -> int:
+    """csg-cmp-pairs of a star with ``n`` relations:
+    ``(n−1) · 2^(n−2)``."""
+    _check(n, minimum=2)
+    return (n - 1) * 2 ** (n - 2)
+
+
+def clique_csg(n: int) -> int:
+    """Connected subgraphs of a clique: every non-empty subset,
+    ``2^n − 1``."""
+    _check(n, minimum=2)
+    return 2 ** n - 1
+
+
+def clique_ccp(n: int) -> int:
+    """csg-cmp-pairs of a clique: ``(3^n − 2^(n+1) + 1) / 2``."""
+    _check(n, minimum=2)
+    return (3 ** n - 2 ** (n + 1) + 1) // 2
+
+
+#: shape name -> (csg formula, ccp formula); n = number of relations
+FORMULAS = {
+    "chain": (chain_csg, chain_ccp),
+    "cycle": (cycle_csg, cycle_ccp),
+    "star": (star_csg, star_ccp),
+    "clique": (clique_csg, clique_ccp),
+}
+
+
+def dpsize_ordered_pairs(ccp: int) -> int:
+    """DPsize inspects ordered pairs: its surviving-pair count is
+    exactly twice the (unordered) #ccp for commutative operators."""
+    return 2 * ccp
+
+
+def dpsub_pair_budget(n: int) -> int:
+    """Splits DPsub probes on an ``n``-relation query with min-anchored
+    enumeration: ``sum over subsets S, |S|>=2 of 2^(|S|-1) - 1``, which
+    telescopes to ``(3^n + 1) / 2 - 2^n``.
+
+    This is the graph-shape-independent cost that sinks DPsub on large
+    sparse queries (Figs. 5–7).
+    """
+    _check(n, minimum=1)
+    return (3 ** n + 1) // 2 - 2 ** n
+
+
+def _check(n: int, minimum: int) -> None:
+    if n < minimum:
+        raise ValueError(f"need at least {minimum} relations, got {n}")

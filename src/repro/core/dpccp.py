@@ -1,0 +1,131 @@
+"""DPccp — csg-cmp-pair enumeration for *simple* graphs ([17]).
+
+The predecessor of DPhyp: optimal bushy-tree enumeration without cross
+products for ordinary (binary-predicate) query graphs.  DPhyp collapses
+to this algorithm when the hypergraph is simple ("DPhyp performs
+exactly like DPccp on regular graphs", Section 4.4); we keep a separate
+implementation both as an independent cross-check for the DPhyp core
+and to measure the constant-factor overhead DPhyp's generalized
+neighborhood machinery adds on regular graphs.
+
+Because every edge is binary, the neighborhood of a set is a plain
+union of per-node adjacency bitmaps — no hypernode representatives, no
+subsumption filtering, no DP-table connectivity lookups: a subset of
+the neighborhood always yields a connected set.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import bitset
+from .bitset import NodeSet
+from .dptable import DPTable
+from .hypergraph import Hypergraph
+from .plans import Plan, PlanBuilder
+from .stats import SearchStats
+
+
+class DPccp:
+    """One-shot solver for simple hypergraphs."""
+
+    def __init__(
+        self,
+        graph: Hypergraph,
+        builder: PlanBuilder,
+        stats: Optional[SearchStats] = None,
+    ) -> None:
+        if not graph.is_simple:
+            raise ValueError("DPccp handles only simple graphs; use DPhyp")
+        self.graph = graph
+        self.builder = builder
+        self.stats = stats if stats is not None else SearchStats()
+        self.table = DPTable()
+        neighbors = [0] * graph.n_nodes
+        for edge in graph.edges:
+            a = bitset.min_node(edge.left)
+            b = bitset.min_node(edge.right)
+            neighbors[a] |= edge.right
+            neighbors[b] |= edge.left
+        self.neighbors = neighbors
+
+    def _neighborhood(self, s: NodeSet, x: NodeSet) -> NodeSet:
+        result = 0
+        remaining = s
+        while remaining:
+            low = remaining & -remaining
+            result |= self.neighbors[low.bit_length() - 1]
+            remaining ^= low
+        return result & ~(s | x)
+
+    def run(self) -> Optional[Plan]:
+        graph = self.graph
+        for node in range(graph.n_nodes):
+            leaf = self.builder.leaf(node)
+            if leaf is not None:
+                self.table.set_leaf(bitset.singleton(node), leaf)
+        for node in range(graph.n_nodes - 1, -1, -1):
+            start = bitset.singleton(node)
+            self.emit_csg(start)
+            self.enumerate_csg_rec(start, bitset.below(node))
+        self.stats.table_entries = len(self.table)
+        return self.table.get(graph.all_nodes)
+
+    def enumerate_csg_rec(self, s1: NodeSet, x: NodeSet) -> None:
+        neighborhood = self._neighborhood(s1, x)
+        self.stats.neighborhood_calls += 1
+        if neighborhood == 0:
+            return
+        for subset in bitset.subsets(neighborhood):
+            # On simple graphs S1 plus any neighbor subset is connected
+            # by construction — no table lookup needed.
+            self.emit_csg(s1 | subset)
+        expanded_x = x | neighborhood
+        for subset in bitset.subsets(neighborhood):
+            self.enumerate_csg_rec(s1 | subset, expanded_x)
+
+    def emit_csg(self, s1: NodeSet) -> None:
+        x = s1 | bitset.below(bitset.min_node(s1))
+        neighborhood = self._neighborhood(s1, x)
+        self.stats.neighborhood_calls += 1
+        if neighborhood == 0:
+            return
+        for node in bitset.iter_nodes_descending(neighborhood):
+            s2 = bitset.singleton(node)
+            # A neighbor is adjacent by definition on simple graphs.
+            self.emit_csg_cmp(s1, s2)
+            self.enumerate_cmp_rec(
+                s1, s2, x | (neighborhood & bitset.below(node))
+            )
+
+    def enumerate_cmp_rec(self, s1: NodeSet, s2: NodeSet, x: NodeSet) -> None:
+        neighborhood = self._neighborhood(s2, x)
+        self.stats.neighborhood_calls += 1
+        if neighborhood == 0:
+            return
+        for subset in bitset.subsets(neighborhood):
+            grown = s2 | subset
+            if self.graph.has_connecting_edge(s1, grown):
+                self.emit_csg_cmp(s1, grown)
+        expanded_x = x | neighborhood
+        for subset in bitset.subsets(neighborhood):
+            self.enumerate_cmp_rec(s1, s2 | subset, expanded_x)
+
+    def emit_csg_cmp(self, s1: NodeSet, s2: NodeSet) -> None:
+        self.stats.ccp_emitted += 1
+        plan1 = self.table.get(s1)
+        plan2 = self.table.get(s2)
+        if plan1 is None or plan2 is None:
+            return
+        edges = self.graph.connecting_edges(s1, s2)
+        for candidate in self.builder.join_unordered(plan1, plan2, edges):
+            self.table.offer(candidate)
+
+
+def solve_dpccp(
+    graph: Hypergraph,
+    builder: PlanBuilder,
+    stats: Optional[SearchStats] = None,
+) -> Optional[Plan]:
+    """Convenience wrapper: run DPccp and return the final plan."""
+    return DPccp(graph, builder, stats).run()

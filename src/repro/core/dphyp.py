@@ -1,0 +1,162 @@
+"""DPhyp — the paper's primary contribution (Section 3).
+
+Dynamic-programming join enumeration over (generalized) hypergraphs
+that emits *exactly* the csg-cmp-pairs of the query graph, each exactly
+once, in an order compatible with dynamic programming (subsets before
+supersets).
+
+The five member functions follow the paper:
+
+``solve``
+    seeds the DP table with single-relation plans, then processes the
+    nodes in decreasing order, first emitting the csg-cmp-pairs whose
+    left side is the singleton, then growing it recursively.
+
+``enumerate_csg_rec(S1, X)``
+    grows a connected subgraph ``S1`` by non-empty subsets of its
+    neighborhood; a DP-table hit on ``S1 ∪ N`` proves connectivity and
+    triggers ``emit_csg``.
+
+``emit_csg(S1)``
+    finds the seeds of all complements for ``S1``: every neighbor node
+    ``v`` not "below" ``min(S1)``.
+
+``enumerate_cmp_rec(S1, S2, X)``
+    grows the complement ``S2`` until it is (a) connected — DP-table
+    hit — and (b) actually connected *to* ``S1`` by some hyperedge.
+
+``emit_csg_cmp(S1, S2)``
+    hands the pair to the plan builder and keeps the cheapest plan.
+
+One deviation from the published pseudocode, noted in DESIGN.md: when
+``emit_csg`` seeds complements it excludes, for each seed ``v``, the
+smaller neighbors ``{w ∈ N | w < v}`` from the recursive expansion
+(``X ∪ B_v(N)``), exactly as the corrected version in Moerkotte's
+*Building Query Compilers* does.  Without it, complements reachable
+from two different seeds would be enumerated twice, violating the
+exactly-once property the paper proves (and that our property tests
+enforce against a brute-force oracle).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import bitset
+from .bitset import NodeSet
+from .dptable import DPTable
+from .hypergraph import Hypergraph
+from .neighborhood import NeighborhoodIndex
+from .plans import Plan, PlanBuilder
+from .stats import SearchStats
+
+
+class DPhyp:
+    """One-shot solver: construct, then call :meth:`run`."""
+
+    def __init__(
+        self,
+        graph: Hypergraph,
+        builder: PlanBuilder,
+        stats: Optional[SearchStats] = None,
+        minimize_neighborhoods: bool = True,
+    ) -> None:
+        self.graph = graph
+        self.builder = builder
+        self.stats = stats if stats is not None else SearchStats()
+        self.index = NeighborhoodIndex(
+            graph, minimize_subsumed=minimize_neighborhoods
+        )
+        self.table = DPTable()
+
+    # -- the five member functions ---------------------------------------
+
+    def run(self) -> Optional[Plan]:
+        """``Solve`` of the paper.
+
+        Returns the optimal plan for all relations, or ``None`` if the
+        hypergraph admits no cross-product-free plan (callers can
+        pre-process with :meth:`Hypergraph.make_connected`).
+        """
+        graph = self.graph
+        for node in range(graph.n_nodes):
+            leaf = self.builder.leaf(node)
+            if leaf is not None:
+                self.table.set_leaf(bitset.singleton(node), leaf)
+        for node in range(graph.n_nodes - 1, -1, -1):
+            start = bitset.singleton(node)
+            self.emit_csg(start)
+            self.enumerate_csg_rec(start, bitset.below(node))
+        self.stats.table_entries = len(self.table)
+        return self.table.get(graph.all_nodes)
+
+    def enumerate_csg_rec(self, s1: NodeSet, x: NodeSet) -> None:
+        neighborhood = self.index.neighborhood(s1, x)
+        self.stats.neighborhood_calls += 1
+        if neighborhood == 0:
+            return
+        for subset in bitset.subsets(neighborhood):
+            grown = s1 | subset
+            if grown in self.table:
+                self.emit_csg(grown)
+        expanded_x = x | neighborhood
+        for subset in bitset.subsets(neighborhood):
+            self.enumerate_csg_rec(s1 | subset, expanded_x)
+
+    def emit_csg(self, s1: NodeSet) -> None:
+        x = s1 | bitset.below(bitset.min_node(s1))
+        neighborhood = self.index.neighborhood(s1, x)
+        self.stats.neighborhood_calls += 1
+        if neighborhood == 0:
+            return
+        for node in bitset.iter_nodes_descending(neighborhood):
+            s2 = bitset.singleton(node)
+            if self.graph.has_connecting_edge(s1, s2):
+                self.emit_csg_cmp(s1, s2)
+            # Forbid smaller neighbors during complement expansion so
+            # each complement is reached from exactly one seed.
+            self.enumerate_cmp_rec(
+                s1, s2, x | (neighborhood & bitset.below(node))
+            )
+
+    def enumerate_cmp_rec(self, s1: NodeSet, s2: NodeSet, x: NodeSet) -> None:
+        neighborhood = self.index.neighborhood(s2, x)
+        self.stats.neighborhood_calls += 1
+        if neighborhood == 0:
+            return
+        for subset in bitset.subsets(neighborhood):
+            grown = s2 | subset
+            if grown in self.table and self.graph.has_connecting_edge(s1, grown):
+                self.emit_csg_cmp(s1, grown)
+        expanded_x = x | neighborhood
+        for subset in bitset.subsets(neighborhood):
+            self.enumerate_cmp_rec(s1, s2 | subset, expanded_x)
+
+    def emit_csg_cmp(self, s1: NodeSet, s2: NodeSet) -> None:
+        """Build plans for the csg-cmp-pair ``(S1, S2)``.
+
+        The builder receives the optimal plans for both sides plus all
+        connecting hyperedges (whose predicates form the conjunction
+        ``p`` of the paper) and returns the candidate plans — both
+        argument orders for commutative operators, the valid one(s)
+        otherwise.
+        """
+        self.stats.ccp_emitted += 1
+        plan1 = self.table.get(s1)
+        plan2 = self.table.get(s2)
+        if plan1 is None or plan2 is None:
+            # A side may be connected yet unplannable when non-inner
+            # operator constraints rejected all of its plans.
+            return
+        edges = self.graph.connecting_edges(s1, s2)
+        for candidate in self.builder.join_unordered(plan1, plan2, edges):
+            self.table.offer(candidate)
+
+
+def solve_dphyp(
+    graph: Hypergraph,
+    builder: PlanBuilder,
+    stats: Optional[SearchStats] = None,
+) -> Optional[Plan]:
+    """Convenience wrapper: run DPhyp and return the final plan."""
+    return DPhyp(graph, builder, stats).run()

@@ -1,0 +1,68 @@
+"""The dynamic programming table.
+
+A thin wrapper over ``dict[NodeSet, Plan]`` shared by all algorithms.
+Besides best-plan bookkeeping it serves DPhyp's second purpose for the
+table: *presence of an entry is the connectivity test* for candidate
+subgraphs ("this exploits the fact that DP strategies enumerate subsets
+before supersets", Section 3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from .bitset import NodeSet
+from .plans import Plan
+
+
+class DPTable:
+    """Best plan per plan class (set of relations)."""
+
+    __slots__ = ("_plans",)
+
+    def __init__(self) -> None:
+        self._plans: dict[NodeSet, Plan] = {}
+
+    def __contains__(self, nodes: NodeSet) -> bool:
+        return nodes in self._plans
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def get(self, nodes: NodeSet) -> Optional[Plan]:
+        return self._plans.get(nodes)
+
+    def __getitem__(self, nodes: NodeSet) -> Plan:
+        return self._plans[nodes]
+
+    def set_leaf(self, nodes: NodeSet, plan: Plan) -> None:
+        """Install a base-relation access plan (first loop of Solve)."""
+        self._plans[nodes] = plan
+
+    def offer(self, plan: Plan) -> bool:
+        """Keep ``plan`` if it dominates the stored plan for its class.
+
+        Returns True when the table changed.  Comparison is
+        lexicographic on ``(cost, cardinality)``: for inner joins the
+        cardinality of a plan class is a set function so this reduces
+        to EmitCsgCmp's strict ``<`` on cost, but for non-inner
+        operators two equal-cost plans of the same class can differ in
+        output cardinality, and preferring the smaller one keeps the DP
+        deterministic across enumeration orders (all algorithms then
+        derive the same table).
+        """
+        current = self._plans.get(plan.nodes)
+        if current is None or (plan.cost, plan.cardinality) < (
+            current.cost,
+            current.cardinality,
+        ):
+            self._plans[plan.nodes] = plan
+            return True
+        return False
+
+    def classes(self) -> Iterator[NodeSet]:
+        """Iterate the stored plan classes (insertion order)."""
+        return iter(self._plans)
+
+    def plans(self) -> Iterator[Plan]:
+        return iter(self._plans.values())

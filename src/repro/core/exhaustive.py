@@ -1,0 +1,128 @@
+"""Brute-force oracles used by the test suite.
+
+Everything here is deliberately written in a different style from the
+production algorithms (explicit recursion over frozen definitions,
+no neighborhood machinery) so that shared bugs are unlikely: these
+functions define *what is correct*, the algorithms must match them.
+
+* :func:`connected_sets` — all node sets that induce a connected
+  subgraph per Definition 3 (the recursive definition, NOT greedy
+  reachability: ``({a},{b,c})`` alone does not make ``{a,b,c}``
+  connected because ``{b,c}`` is not).
+* :func:`csg_cmp_pairs` — all csg-cmp-pairs per Definition 4,
+  canonicalized to ``min(S1) < min(S2)``.
+* :func:`optimal_cost` — exact optimum by trying every split of every
+  connected set.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import bitset
+from .bitset import NodeSet
+from .hypergraph import Hypergraph
+from .plans import Plan, PlanBuilder, better_plan
+
+
+def connected_sets(graph: Hypergraph) -> set[NodeSet]:
+    """All connected node sets (Definition 3), by brute force.
+
+    A set ``S`` with ``|S| > 1`` is connected iff it splits into two
+    connected halves joined by a hyperedge.  Computed bottom-up over
+    subsets in increasing popcount order; exponential, test-sized
+    graphs only.
+    """
+    universe = graph.all_nodes
+    connected: set[NodeSet] = set()
+    by_size: list[list[NodeSet]] = [[] for _ in range(graph.n_nodes + 1)]
+    all_subsets = sorted(
+        (s for s in range(1, universe + 1)), key=bitset.count
+    )
+    for s in all_subsets:
+        size = bitset.count(s)
+        if size == 1:
+            connected.add(s)
+            by_size[1].append(s)
+            continue
+        low = s & -s
+        rest = s ^ low
+        is_connected = False
+        for sub in bitset.subsets(rest):
+            s1 = low | (rest ^ sub)
+            s2 = sub
+            if s1 in connected and s2 in connected:
+                if graph.has_connecting_edge(s1, s2):
+                    is_connected = True
+                    break
+        if is_connected:
+            connected.add(s)
+            by_size[size].append(s)
+    return connected
+
+
+def csg_cmp_pairs(graph: Hypergraph) -> set[tuple[NodeSet, NodeSet]]:
+    """All csg-cmp-pairs, canonicalized with ``min(S1) < min(S2)``.
+
+    Definition 4: ``S1`` connected, ``S2 ⊆ V \\ S1`` connected, and a
+    hyperedge connects them.  The DP algorithms enumerate exactly the
+    canonical orientation, so we return that.
+    """
+    connected = sorted(connected_sets(graph))
+    pairs: set[tuple[NodeSet, NodeSet]] = set()
+    for s1 in connected:
+        for s2 in connected:
+            if s1 & s2:
+                continue
+            if bitset.min_bit(s1) > bitset.min_bit(s2):
+                continue
+            if graph.has_connecting_edge(s1, s2):
+                pairs.add((s1, s2))
+    return pairs
+
+
+def count_csg_cmp_pairs(graph: Hypergraph) -> int:
+    """Number of (canonical) csg-cmp-pairs — the paper's lower bound on
+    cost-function calls for any DP algorithm."""
+    return len(csg_cmp_pairs(graph))
+
+
+def optimal_plans(
+    graph: Hypergraph, builder: PlanBuilder
+) -> dict[NodeSet, Plan]:
+    """Best plan for every plannable set, by exhaustive splitting."""
+    table: dict[NodeSet, Plan] = {}
+    for node in range(graph.n_nodes):
+        leaf = builder.leaf(node)
+        if leaf is not None:
+            table[bitset.singleton(node)] = leaf
+    universe = graph.all_nodes
+    for s in range(3, universe + 1):
+        if bitset.count(s) < 2:
+            continue
+        low = s & -s
+        rest = s ^ low
+        best: Optional[Plan] = None
+        for sub in bitset.subsets(rest):
+            s1 = low | (rest ^ sub)
+            s2 = sub
+            if s1 not in table or s2 not in table:
+                continue
+            if not graph.has_connecting_edge(s1, s2):
+                continue
+            edges = graph.connecting_edges(s1, s2)
+            for candidate in builder.join_unordered(
+                table[s1], table[s2], edges
+            ):
+                best = better_plan(best, candidate)
+        if best is not None:
+            table[s] = best
+    return table
+
+
+def optimal_cost(graph: Hypergraph, builder: PlanBuilder) -> Optional[float]:
+    """Exact optimal cost for the full query, or ``None`` if no
+    cross-product-free plan exists."""
+    table = optimal_plans(graph, builder)
+    plan = table.get(graph.all_nodes)
+    return plan.cost if plan is not None else None

@@ -1,0 +1,73 @@
+"""Greedy Operator Ordering (GOO) — a heuristic baseline.
+
+Not part of the paper's evaluation, but the natural "what do I lose
+without exact enumeration" comparator used in the examples: repeatedly
+merge the pair of current fragments whose join result is smallest until
+one plan remains.  Works on hypergraphs because fragment pairs are
+merged only when some hyperedge connects them (no cross products).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .hypergraph import Hypergraph
+from .plans import Plan, PlanBuilder
+from .stats import SearchStats
+
+
+def solve_greedy(
+    graph: Hypergraph,
+    builder: PlanBuilder,
+    stats: Optional[SearchStats] = None,
+) -> Optional[Plan]:
+    """Run GOO; returns a (generally sub-optimal) plan or ``None``.
+
+    Ties are broken toward the pair with the smaller combined node set
+    bitmap, making the heuristic deterministic.
+    """
+    stats = stats if stats is not None else SearchStats()
+    fragments: list[Plan] = []
+    for node in range(graph.n_nodes):
+        leaf = builder.leaf(node)
+        if leaf is None:
+            return None
+        fragments.append(leaf)
+
+    while len(fragments) > 1:
+        best_pair: Optional[tuple[int, int]] = None
+        best_plan: Optional[Plan] = None
+        for i in range(len(fragments)):
+            for j in range(i + 1, len(fragments)):
+                p1, p2 = fragments[i], fragments[j]
+                stats.pairs_considered += 1
+                if not graph.has_connecting_edge(p1.nodes, p2.nodes):
+                    continue
+                edges = graph.connecting_edges(p1.nodes, p2.nodes)
+                candidates = builder.join_unordered(p1, p2, edges)
+                if not candidates:
+                    continue
+                stats.ccp_emitted += 1
+                candidate = min(candidates, key=lambda plan: plan.cost)
+                smaller = (
+                    best_plan is None
+                    or candidate.cardinality < best_plan.cardinality
+                    or (
+                        candidate.cardinality == best_plan.cardinality
+                        and candidate.nodes < best_plan.nodes
+                    )
+                )
+                if smaller:
+                    best_plan = candidate
+                    best_pair = (i, j)
+        if best_plan is None:
+            # No connected pair left: disconnected hypergraph.
+            return None
+        i, j = best_pair
+        # Replace the two fragments by their join (j > i, pop j first).
+        fragments.pop(j)
+        fragments.pop(i)
+        fragments.append(best_plan)
+
+    stats.table_entries = 1
+    return fragments[0]

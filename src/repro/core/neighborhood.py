@@ -1,0 +1,145 @@
+"""Neighborhood computation for DPhyp (Section 2.3 of the paper).
+
+The neighborhood ``N(S, X)`` of a connected set ``S`` under an
+exclusion set ``X`` is the set of *representative* nodes through which
+``S`` may grow.  For a hyperedge ``(u, v)`` with ``u ⊆ S`` the whole
+hypernode ``v`` becomes interesting, but only its minimal element
+``min(v)`` enters the neighborhood (Eq. 1); the remaining elements of
+``v`` are pulled in later by the recursive growth, and the DP-table
+lookup filters out intermediate sets that are not connected.
+
+For *generalized* hyperedges ``(u, v, w)`` (Definition 6), the target
+hypernode reachable from ``S`` via orientation ``u -> v`` is
+``v ∪ (w \\ S)``: flex nodes already inside ``S`` count as being on
+``S``'s side, the rest must travel with ``v`` (Section 6).
+
+:class:`NeighborhoodIndex` precomputes two structures:
+
+* ``simple_neighbors[i]`` — bitmap of nodes adjacent to node ``i``
+  through simple edges, so the simple part of the neighborhood is a
+  union of table lookups, and
+* an oriented list of complex edges ``(anchor, emit, flex)``.
+
+This mirrors what production implementations (e.g. the MySQL hypergraph
+optimizer) do and keeps the per-call cost low.
+"""
+
+from __future__ import annotations
+
+from . import bitset
+from .bitset import NodeSet
+from .hypergraph import Hypergraph
+
+
+class NeighborhoodIndex:
+    """Precomputed adjacency structures for fast ``N(S, X)`` queries.
+
+    ``minimize_subsumed`` controls the ``E↓`` minimization step of
+    Section 2.3 (dropping candidate hypernodes subsumed by smaller
+    ones).  It defaults to on; turning it off is an *ablation* knob —
+    the enumeration stays correct (each representative still stands for
+    a full hypernode, and the DP-table check filters invalid growth)
+    but neighborhoods get larger and more subset probes miss, which is
+    what `benchmarks/bench_ablation.py` quantifies.
+    """
+
+    def __init__(self, graph: Hypergraph, minimize_subsumed: bool = True) -> None:
+        self.graph = graph
+        self.minimize_subsumed = minimize_subsumed
+        self.n_nodes = graph.n_nodes
+        simple = [0] * graph.n_nodes
+        oriented: list[tuple[NodeSet, NodeSet, NodeSet]] = []
+        for edge in graph.edges:
+            if edge.is_simple:
+                a = bitset.min_node(edge.left)
+                b = bitset.min_node(edge.right)
+                simple[a] |= edge.right
+                simple[b] |= edge.left
+            else:
+                oriented.append((edge.left, edge.right, edge.flex))
+                oriented.append((edge.right, edge.left, edge.flex))
+        #: per-node union of simple-edge neighbors
+        self.simple_neighbors: list[NodeSet] = simple
+        #: complex edges as (anchor, emit, flex) in both orientations
+        self.oriented_complex: list[tuple[NodeSet, NodeSet, NodeSet]] = oriented
+        #: union of simple neighbors for all nodes, used as a fast filter
+        self.has_complex = bool(oriented)
+
+    def simple_neighborhood(self, s: NodeSet) -> NodeSet:
+        """Union of simple-edge neighbors of all nodes in ``s``."""
+        result = 0
+        neighbors = self.simple_neighbors
+        remaining = s
+        while remaining:
+            low = remaining & -remaining
+            result |= neighbors[low.bit_length() - 1]
+            remaining ^= low
+        return result
+
+    def neighborhood(self, s: NodeSet, x: NodeSet) -> NodeSet:
+        """Compute ``N(S, X)`` per Eq. 1 of the paper.
+
+        Returns a bitmap of representative nodes.  Representatives from
+        complex edges stand for their full target hypernode; callers
+        rely on the DP table to reject sets where the rest of the
+        hypernode is missing (Section 3, point 4).
+        """
+        forbidden = s | x
+        result = self.simple_neighborhood(s) & ~forbidden
+        if not self.has_complex:
+            return result
+        # Collect candidate target hypernodes from complex edges
+        # (the set E_downarrow'(S, X) of the paper), then minimize.
+        candidates: list[NodeSet] = []
+        for anchor, emit, flex in self.oriented_complex:
+            if anchor & s != anchor:  # u must lie fully inside S
+                continue
+            if emit & forbidden:  # v must avoid S and X
+                continue
+            travelling_flex = flex & ~s
+            if travelling_flex & x:  # flex nodes outside S must be free
+                continue
+            target = emit | travelling_flex
+            # A candidate subsumed by a simple neighbor is redundant:
+            # the singleton {b} ⊆ target already represents growth.
+            if self.minimize_subsumed and target & result:
+                continue
+            candidates.append(target)
+        if not candidates:
+            return result
+        if self.minimize_subsumed:
+            # Minimize: drop any candidate that is a strict superset of
+            # another candidate (E_downarrow of the paper); duplicates
+            # collapse to a single representative anyway.
+            candidates.sort(key=bitset.count)
+            kept: list[NodeSet] = []
+            for target in candidates:
+                if any(small & target == small for small in kept):
+                    continue
+                kept.append(target)
+        else:
+            kept = candidates
+        for target in kept:
+            result |= target & -target  # min(v) as representative
+        return result
+
+    def reachable_from(self, start: NodeSet, within: NodeSet) -> NodeSet:
+        """Grow ``start`` to everything reachable inside ``within``.
+
+        Used by workload validation and the greedy heuristic; not part
+        of the DPhyp inner loop.
+        """
+        reached = start
+        changed = True
+        while changed:
+            changed = False
+            grown = reached | (self.simple_neighborhood(reached) & within)
+            for anchor, emit, flex in self.oriented_complex:
+                if anchor & reached == anchor and (emit | flex) & within == (
+                    emit | flex
+                ):
+                    grown |= emit | flex
+            if grown != reached:
+                reached = grown
+                changed = True
+        return reached

@@ -1,0 +1,53 @@
+"""Search statistics collected by every enumeration algorithm.
+
+The paper argues about algorithm efficiency in terms of how many
+candidate pairs an algorithm *considers* versus how many csg-cmp-pairs
+actually exist (the lower bound on cost-function calls).  These
+counters are hardware independent, so they reproduce the paper's
+complexity story exactly even though our wall-clock numbers come from
+pure Python rather than the authors' C++ on a Pentium D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SearchStats:
+    """Counters shared by all join-ordering algorithms.
+
+    Attributes:
+        ccp_emitted: number of csg-cmp-pairs handed to plan
+            construction (``EmitCsgCmp`` calls for DPhyp).  For DPhyp
+            this equals the number of ccps of the hypergraph; for
+            DPsize/DPsub it is the number of pairs surviving all tests.
+        pairs_considered: number of candidate pairs inspected,
+            including ones failing the disjointness/connectivity tests
+            (the ``(*)`` lines of Fig. 1).  This is where DPsize and
+            DPsub lose against DPhyp.
+        cost_calls: number of plans actually costed.
+        table_entries: number of plan classes stored (connected,
+            plannable subsets) at the end of the run.
+        neighborhood_calls: number of ``N(S, X)`` computations
+            (DPhyp only).
+    """
+
+    ccp_emitted: int = 0
+    pairs_considered: int = 0
+    cost_calls: int = 0
+    table_entries: int = 0
+    neighborhood_calls: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """Plain-dict view used by the benchmark reporting layer."""
+        result = {
+            "ccp_emitted": self.ccp_emitted,
+            "pairs_considered": self.pairs_considered,
+            "cost_calls": self.cost_calls,
+            "table_entries": self.table_entries,
+            "neighborhood_calls": self.neighborhood_calls,
+        }
+        result.update(self.extra)
+        return result

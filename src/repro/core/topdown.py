@@ -1,0 +1,89 @@
+"""Top-down join enumeration with memoization.
+
+The paper's "main competitor for dynamic programming is memoization,
+which generates plans in a top-down fashion" (Section 1).  We provide
+the classical generate-and-test memoization baseline (the family that
+"needed tests similar to those shown for DPsize"): starting from the
+full relation set, every split into two halves anchored on ``min(S)``
+is tried; halves recurse.  Memoizing plannability means the total work
+is bounded by the DPsub budget (``O(3^n)`` splits), but unlike DPccp /
+Top-Down Partition Search it pays for every failing connectivity test.
+
+This is deliberately *not* DeHaan & Tompa's Top-Down Partition Search
+(which enumerates minimal cuts to avoid failing tests, [7] in the
+paper) — it is the baseline that algorithm improves on, and it gives
+our benchmarks a memoization representative to position DPhyp against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import bitset
+from .bitset import NodeSet
+from .hypergraph import Hypergraph
+from .plans import Plan, PlanBuilder, better_plan
+from .stats import SearchStats
+
+
+class TopDownMemo:
+    """Naive top-down partitioning with memoization."""
+
+    def __init__(
+        self,
+        graph: Hypergraph,
+        builder: PlanBuilder,
+        stats: Optional[SearchStats] = None,
+    ) -> None:
+        self.graph = graph
+        self.builder = builder
+        self.stats = stats if stats is not None else SearchStats()
+        # memo maps a node set to its best plan or None (unplannable);
+        # a missing key means "not yet computed".
+        self.memo: dict[NodeSet, Optional[Plan]] = {}
+
+    def run(self) -> Optional[Plan]:
+        for node in range(self.graph.n_nodes):
+            self.memo[bitset.singleton(node)] = self.builder.leaf(node)
+        result = self.best_plan(self.graph.all_nodes)
+        self.stats.table_entries = sum(
+            1 for plan in self.memo.values() if plan is not None
+        )
+        return result
+
+    def best_plan(self, s: NodeSet) -> Optional[Plan]:
+        """Best cross-product-free plan for ``s`` or ``None``."""
+        if s in self.memo:
+            return self.memo[s]
+        best: Optional[Plan] = None
+        low = s & -s
+        rest = s ^ low
+        for sub in bitset.subsets(rest):
+            if sub == rest:
+                s1, s2 = low, rest
+            else:
+                s1, s2 = low | (rest ^ sub), sub
+            self.stats.pairs_considered += 1
+            if not self.graph.has_connecting_edge(s1, s2):
+                continue
+            plan1 = self.best_plan(s1)
+            if plan1 is None:
+                continue
+            plan2 = self.best_plan(s2)
+            if plan2 is None:
+                continue
+            self.stats.ccp_emitted += 1
+            edges = self.graph.connecting_edges(s1, s2)
+            for candidate in self.builder.join_unordered(plan1, plan2, edges):
+                best = better_plan(best, candidate)
+        self.memo[s] = best
+        return best
+
+
+def solve_topdown(
+    graph: Hypergraph,
+    builder: PlanBuilder,
+    stats: Optional[SearchStats] = None,
+) -> Optional[Plan]:
+    """Convenience wrapper: run top-down memoization."""
+    return TopDownMemo(graph, builder, stats).run()

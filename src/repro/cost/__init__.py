@@ -1,0 +1,33 @@
+"""Cost models, cardinality estimation, and relation statistics."""
+
+from .cardinality import (
+    SetCardinalityEstimator,
+    inner_join_cardinality,
+    operator_cardinality,
+)
+from .catalog import Catalog, RelationStats, catalog_from_cardinalities
+from .models import (
+    MODELS,
+    CostModel,
+    CoutModel,
+    HashJoinModel,
+    MinOfModel,
+    NestedLoopModel,
+    SortMergeModel,
+)
+
+__all__ = [
+    "SetCardinalityEstimator",
+    "inner_join_cardinality",
+    "operator_cardinality",
+    "Catalog",
+    "RelationStats",
+    "catalog_from_cardinalities",
+    "MODELS",
+    "CostModel",
+    "CoutModel",
+    "HashJoinModel",
+    "MinOfModel",
+    "NestedLoopModel",
+    "SortMergeModel",
+]

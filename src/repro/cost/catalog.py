@@ -1,0 +1,101 @@
+"""Relation statistics catalog.
+
+A tiny statistics store in the spirit of a system catalog: per-relation
+cardinalities and per-attribute distinct counts, from which join
+selectivities are derived the classical way
+(``sel(R.a = S.b) = 1 / max(d(R.a), d(S.b))``, Selinger et al.).
+
+The workload generators populate a catalog; the algebra layer uses it
+to attach selectivities to the hyperedges it derives from predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+@dataclass
+class RelationStats:
+    """Statistics for one base relation."""
+
+    name: str
+    cardinality: float
+    distinct_counts: dict[str, float] = field(default_factory=dict)
+
+    def distinct(self, attribute: str) -> float:
+        """Distinct count of ``attribute``; defaults to the cardinality
+        (every value unique), the standard fallback when statistics are
+        missing."""
+        return self.distinct_counts.get(attribute, self.cardinality)
+
+
+class Catalog:
+    """Maps relation names to :class:`RelationStats` and assigns each
+    relation a stable node index in registration order."""
+
+    def __init__(self) -> None:
+        self._stats: dict[str, RelationStats] = {}
+        self._order: list[str] = []
+
+    def add(
+        self,
+        name: str,
+        cardinality: float,
+        distinct_counts: Optional[dict[str, float]] = None,
+    ) -> RelationStats:
+        """Register a relation; re-registering a name is an error."""
+        if name in self._stats:
+            raise ValueError(f"relation {name!r} already registered")
+        if cardinality <= 0:
+            raise ValueError("cardinality must be positive")
+        stats = RelationStats(name, float(cardinality), dict(distinct_counts or {}))
+        self._stats[name] = stats
+        self._order.append(name)
+        return stats
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stats
+
+    def __len__(self) -> int:
+        return len(self._stats)
+
+    def get(self, name: str) -> RelationStats:
+        if name not in self._stats:
+            raise KeyError(f"unknown relation {name!r}")
+        return self._stats[name]
+
+    def index_of(self, name: str) -> int:
+        """Node index of a relation (registration order)."""
+        try:
+            return self._order.index(name)
+        except ValueError:
+            raise KeyError(f"unknown relation {name!r}") from None
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._order)
+
+    @property
+    def cardinalities(self) -> list[float]:
+        """Base cardinalities in node-index order (plan-builder input)."""
+        return [self._stats[name].cardinality for name in self._order]
+
+    def equijoin_selectivity(
+        self, left: str, left_attr: str, right: str, right_attr: str
+    ) -> float:
+        """Classical equi-join selectivity ``1 / max(d_l, d_r)``."""
+        d_left = self.get(left).distinct(left_attr)
+        d_right = self.get(right).distinct(right_attr)
+        return 1.0 / max(d_left, d_right, 1.0)
+
+
+def catalog_from_cardinalities(
+    cardinalities: Iterable[float], prefix: str = "R"
+) -> Catalog:
+    """Build a catalog with relations ``R0, R1, ...`` and the given
+    cardinalities — the common case for synthetic workloads."""
+    catalog = Catalog()
+    for i, card in enumerate(cardinalities):
+        catalog.add(f"{prefix}{i}", card)
+    return catalog

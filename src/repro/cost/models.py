@@ -1,0 +1,132 @@
+"""Cost models.
+
+The paper hides cost computation behind "an abstract function cost";
+any model works as long as cheaper-is-better is well defined on plan
+classes.  We provide the standard textbook models.  The benchmark
+harness uses :class:`CoutModel` (sum of intermediate result sizes),
+the de-facto standard for join-ordering studies, because it makes the
+optimal cost independent of physical operator choice and therefore
+directly comparable across all five enumeration algorithms.
+
+All models receive the two input *plans* (not just cardinalities) so
+asymmetric models (nested loops, hash join) can price the build/probe
+sides differently, which is what makes commutativity handling in
+EmitCsgCmp observable.
+"""
+
+from __future__ import annotations
+
+
+class CostModel:
+    """Interface: price a leaf and a binary operator application."""
+
+    name = "abstract"
+
+    def leaf_cost(self, cardinality: float) -> float:
+        """Cost of scanning a base relation (default: free)."""
+        return 0.0
+
+    def join_cost(self, operator, left_plan, right_plan, out_cardinality: float) -> float:
+        raise NotImplementedError
+
+
+class CoutModel(CostModel):
+    """``C_out``: total size of all intermediate results.
+
+    ``cost(P1 op P2) = cost(P1) + cost(P2) + |P1 op P2|``.
+    """
+
+    name = "C_out"
+
+    def join_cost(self, operator, left_plan, right_plan, out_cardinality: float) -> float:
+        return left_plan.cost + right_plan.cost + out_cardinality
+
+
+class NestedLoopModel(CostModel):
+    """Canonical nested-loop join: inputs plus ``|L| * |R|`` probes."""
+
+    name = "C_nlj"
+
+    def join_cost(self, operator, left_plan, right_plan, out_cardinality: float) -> float:
+        return (
+            left_plan.cost
+            + right_plan.cost
+            + left_plan.cardinality * right_plan.cardinality
+        )
+
+
+class HashJoinModel(CostModel):
+    """Hash join: build the left side, probe with the right side.
+
+    ``cost = cost(L) + cost(R) + build_factor * |L| + |R| + |out|``.
+    The asymmetry makes plan commutation matter, exercising the
+    "for commutative ops only" branch of EmitCsgCmp.
+    """
+
+    name = "C_hj"
+
+    def __init__(self, build_factor: float = 1.5) -> None:
+        if build_factor <= 0:
+            raise ValueError("build_factor must be positive")
+        self.build_factor = build_factor
+
+    def join_cost(self, operator, left_plan, right_plan, out_cardinality: float) -> float:
+        return (
+            left_plan.cost
+            + right_plan.cost
+            + self.build_factor * left_plan.cardinality
+            + right_plan.cardinality
+            + out_cardinality
+        )
+
+
+class SortMergeModel(CostModel):
+    """Sort-merge join with ``n log n`` sorting of both inputs."""
+
+    name = "C_smj"
+
+    def join_cost(self, operator, left_plan, right_plan, out_cardinality: float) -> float:
+        import math
+
+        def sort_term(card: float) -> float:
+            return card * math.log2(card) if card > 1.0 else card
+
+        return (
+            left_plan.cost
+            + right_plan.cost
+            + sort_term(left_plan.cardinality)
+            + sort_term(right_plan.cardinality)
+            + out_cardinality
+        )
+
+
+class MinOfModel(CostModel):
+    """Best of several physical implementations per operator.
+
+    A small nod to real optimizers, which pick the cheapest physical
+    operator per logical join; with this model the DP still works
+    because the choice is local to each plan node.
+    """
+
+    name = "C_min"
+
+    def __init__(self, models=None) -> None:
+        self.models = list(models) if models is not None else [
+            NestedLoopModel(),
+            HashJoinModel(),
+        ]
+        if not self.models:
+            raise ValueError("need at least one component model")
+
+    def join_cost(self, operator, left_plan, right_plan, out_cardinality: float) -> float:
+        return min(
+            model.join_cost(operator, left_plan, right_plan, out_cardinality)
+            for model in self.models
+        )
+
+
+#: Models by name, used by the CLI / benchmark parameterization.
+MODELS = {
+    model.name: model
+    for model in (CoutModel(), NestedLoopModel(), HashJoinModel(), SortMergeModel())
+}

@@ -1,0 +1,34 @@
+"""Relational execution engine: reference semantics for all operators
+and evaluation of both initial trees and optimized plans."""
+
+from .evaluate import (
+    EvaluationError,
+    evaluate_plan,
+    evaluate_tree,
+    plan_to_tree,
+)
+from .joins import apply_operator
+from .table import (
+    Row,
+    base_relation,
+    make_rows,
+    rows_as_bag,
+    schemas_from_tree,
+    table_function,
+    visible_schema,
+)
+
+__all__ = [
+    "EvaluationError",
+    "evaluate_plan",
+    "evaluate_tree",
+    "plan_to_tree",
+    "apply_operator",
+    "Row",
+    "base_relation",
+    "make_rows",
+    "rows_as_bag",
+    "schemas_from_tree",
+    "table_function",
+    "visible_schema",
+]

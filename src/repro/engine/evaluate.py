@@ -1,0 +1,111 @@
+"""Tree and plan evaluation.
+
+:func:`evaluate_tree` runs an initial operator tree on its relations'
+rows; :func:`plan_to_tree` converts an optimizer plan back into an
+operator tree (recovering operators and predicates from the hyperedge
+payloads), so :func:`evaluate_plan` can execute it with the same
+evaluator.  Together they support the central correctness check of the
+Section 5 machinery::
+
+    rows_as_bag(evaluate_tree(tree)) == rows_as_bag(evaluate_plan(plan))
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..algebra.expr import Conjunction, Predicate
+from ..algebra.hyperedges import EdgeInfo
+from ..algebra.optree import LeafNode, OpNode, Relation, TreeNode
+from ..core import bitset
+from ..core.plans import Plan
+from .joins import apply_operator
+from .table import Row, schemas_from_tree, visible_schema
+
+
+class EvaluationError(RuntimeError):
+    """Raised when a tree/plan cannot be executed."""
+
+
+def evaluate_tree(
+    tree: TreeNode,
+    context: Optional[Row] = None,
+    schemas: Optional[dict[str, list[str]]] = None,
+) -> list[Row]:
+    """Evaluate an operator tree bottom-up with nested loops.
+
+    ``context`` carries the outer row for dependent subtrees (empty at
+    the top level); ``schemas`` (relation -> attributes) is computed
+    once and reused across dependent re-evaluations.
+    """
+    if context is None:
+        context = {}
+    if schemas is None:
+        schemas = schemas_from_tree(tree)
+    if isinstance(tree, LeafNode):
+        relation = tree.relation
+        if relation.generator is None:
+            raise EvaluationError(
+                f"relation {relation.name!r} has no rows attached"
+            )
+        return relation.generator(context)
+
+    assert isinstance(tree, OpNode)
+    left_rows = evaluate_tree(tree.left, context, schemas)
+
+    def right_provider(outer_row: Row) -> list[Row]:
+        inner_context = {**context, **outer_row}
+        return evaluate_tree(tree.right, inner_context, schemas)
+
+    return apply_operator(
+        tree.op,
+        left_rows,
+        right_provider,
+        tree.predicate,
+        tree.aggregates,
+        right_schema=visible_schema(tree.right, schemas),
+        left_schema=visible_schema(tree.left, schemas),
+    )
+
+
+def plan_to_tree(plan: Plan, relations: list[Relation]) -> TreeNode:
+    """Rebuild an operator tree from an optimizer plan.
+
+    ``relations`` is the node-index-ordered relation list of the
+    compiled query (``compiled.analysis.relations``).  Operators and
+    predicates come from the plan nodes / hyperedge payloads; inner
+    edges' predicates are conjoined exactly as EmitCsgCmp prescribes.
+    """
+    if plan.is_leaf:
+        return LeafNode(relations[bitset.min_node(plan.nodes)])
+    left = plan_to_tree(plan.left, relations)
+    right = plan_to_tree(plan.right, relations)
+    predicates: list[Predicate] = []
+    aggregates = ()
+    for edge in plan.edges:
+        payload = edge.payload
+        if not isinstance(payload, EdgeInfo):
+            raise EvaluationError(
+                "plan edge carries no operator payload; was the query "
+                "compiled from an operator tree?"
+            )
+        predicates.append(payload.predicate)
+        if payload.aggregates:
+            aggregates = payload.aggregates
+    if not predicates:
+        raise EvaluationError("binary plan node without connecting edges")
+    predicate = (
+        predicates[0] if len(predicates) == 1 else Conjunction(tuple(predicates))
+    )
+    return OpNode(
+        op=plan.operator,
+        left=left,
+        right=right,
+        predicate=predicate,
+        aggregates=tuple(aggregates),
+    )
+
+
+def evaluate_plan(plan: Plan, relations: list[Relation]) -> list[Row]:
+    """Execute an optimizer plan on the relations' attached rows."""
+    return evaluate_tree(plan_to_tree(plan, relations))

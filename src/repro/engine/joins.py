@@ -1,0 +1,126 @@
+"""Reference semantics of every binary operator (Section 5.1).
+
+Straightforward nested-loop implementations with SQL NULL behaviour:
+outer joins pad the missing side with ``None``; predicates are strong
+(NULL-rejecting) per the paper's assumption, which the predicate
+classes in :mod:`repro.algebra.expr` already guarantee.
+
+Dependent variants receive the right side as a *provider function*
+re-evaluated per left row — the defining property of the d-join
+family::
+
+    R djoin_p S  =  { r ∘ s | r ∈ R, s ∈ S(r), p(r, s) }
+
+The nestjoin follows the paper's general definition::
+
+    R nest_{p,[a1:e1,...]} S = { r ∘ s(r) | r ∈ R }
+    with s(r) = [a_i : e_i(g(r))], g(r) = { s ∈ S | p(r, s) }
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from ..algebra.expr import Aggregate, Predicate
+from ..algebra.operators import (
+    ANTI_KIND,
+    FULL_OUTER_KIND,
+    JOIN_KIND,
+    LEFT_OUTER_KIND,
+    NEST_KIND,
+    SEMI_KIND,
+    Operator,
+)
+from .table import Row
+
+#: provider: called once with None for independent right sides, or once
+#: per left row for dependent operators.
+RightProvider = Callable[[Row], list[Row]]
+
+
+def _nulls(schema: Iterable[str]) -> Row:
+    return {attribute: None for attribute in schema}
+
+
+def apply_operator(
+    op: Operator,
+    left_rows: list[Row],
+    right_provider: RightProvider,
+    predicate: Predicate,
+    aggregates: Sequence[Aggregate],
+    right_schema: Iterable[str],
+    left_schema: Iterable[str] = (),
+) -> list[Row]:
+    """Evaluate ``left op_p right`` and return the output rows.
+
+    ``left_schema`` / ``right_schema`` list the qualified attributes
+    each side contributes (needed for NULL padding in outer joins; the
+    left one only matters for the full outer join).
+    """
+    kind = op.base_kind
+    if kind == FULL_OUTER_KIND:
+        return _full_outer(
+            left_rows, right_provider, predicate, left_schema, right_schema
+        )
+
+    out: list[Row] = []
+    fixed_right: list[Row] | None = None
+    if not op.dependent:
+        fixed_right = right_provider({})
+    for left_row in left_rows:
+        right_rows = (
+            right_provider(left_row) if op.dependent else fixed_right
+        )
+        matches = [
+            right_row
+            for right_row in right_rows
+            if predicate.evaluate({**left_row, **right_row})
+        ]
+        if kind == JOIN_KIND:
+            out.extend({**left_row, **match} for match in matches)
+        elif kind == LEFT_OUTER_KIND:
+            if matches:
+                out.extend({**left_row, **match} for match in matches)
+            else:
+                out.append({**left_row, **_nulls(right_schema)})
+        elif kind == SEMI_KIND:
+            if matches:
+                out.append(dict(left_row))
+        elif kind == ANTI_KIND:
+            if not matches:
+                out.append(dict(left_row))
+        elif kind == NEST_KIND:
+            folded = {
+                aggregate.name: aggregate.compute(matches)
+                for aggregate in aggregates
+            }
+            out.append({**left_row, **folded})
+        else:  # pragma: no cover - Operator validates kinds
+            raise ValueError(f"unhandled operator kind {kind!r}")
+    return out
+
+
+def _full_outer(
+    left_rows: list[Row],
+    right_provider: RightProvider,
+    predicate: Predicate,
+    left_schema: Iterable[str],
+    right_schema: Iterable[str],
+) -> list[Row]:
+    """Full outer join (never dependent: it has no dependent variant)."""
+    right_rows = right_provider({})
+    out: list[Row] = []
+    matched_right = [False] * len(right_rows)
+    for left_row in left_rows:
+        matched = False
+        for j, right_row in enumerate(right_rows):
+            if predicate.evaluate({**left_row, **right_row}):
+                out.append({**left_row, **right_row})
+                matched = True
+                matched_right[j] = True
+        if not matched:
+            out.append({**left_row, **_nulls(right_schema)})
+    for j, right_row in enumerate(right_rows):
+        if not matched_right[j]:
+            out.append({**_nulls(left_schema), **right_row})
+    return out

@@ -1,0 +1,128 @@
+"""In-memory tables and schema utilities for the execution engine.
+
+Rows are plain dicts keyed by *qualified* attribute names (``"R.a"``),
+which makes merging two sides of a join a dict union and lets NULL
+padding for outer joins work by schema difference.  NULL is Python
+``None``.
+
+The engine exists to *prove* Section 5 correct: the property tests
+execute a random initial operator tree and its optimized plan on random
+data and demand identical bags of rows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..algebra.operators import NEST_KIND
+from ..algebra.optree import LeafNode, OpNode, Relation, TreeNode
+
+Row = dict[str, Any]
+
+
+def make_rows(
+    relation_name: str, attributes: Sequence[str], tuples: Iterable[Sequence[Any]]
+) -> list[Row]:
+    """Qualify raw tuples into engine rows.
+
+    >>> make_rows("R", ["a", "b"], [(1, 2)])
+    [{'R.a': 1, 'R.b': 2}]
+    """
+    qualified = [f"{relation_name}.{attribute}" for attribute in attributes]
+    rows = []
+    for values in tuples:
+        if len(values) != len(qualified):
+            raise ValueError(
+                f"tuple {values!r} does not match attributes {attributes!r}"
+            )
+        rows.append(dict(zip(qualified, values)))
+    return rows
+
+
+def base_relation(
+    name: str,
+    attributes: Sequence[str],
+    tuples: Iterable[Sequence[Any]],
+) -> Relation:
+    """Build a base-relation leaf holding materialized rows."""
+    rows = make_rows(name, attributes, tuples)
+
+    def generator(_context: Row) -> list[Row]:
+        return list(rows)
+
+    return Relation(
+        name=name,
+        cardinality=float(max(len(rows), 1)),
+        generator=generator,
+        attributes=tuple(attributes),
+    )
+
+
+def table_function(
+    name: str,
+    attributes: Sequence[str],
+    free_tables: Iterable[str],
+    fn,
+    cardinality: float = 10.0,
+) -> Relation:
+    """Build a table-valued function leaf (Section 5.1's d-join
+    motivation).
+
+    ``fn(context_row)`` returns raw tuples; they are qualified with
+    ``name`` here so the function body stays oblivious of engine
+    conventions.
+    """
+
+    def generator(context: Row) -> list[Row]:
+        return make_rows(name, attributes, fn(context))
+
+    return Relation(
+        name=name,
+        cardinality=float(cardinality),
+        free_tables=frozenset(free_tables),
+        generator=generator,
+        attributes=tuple(attributes),
+    )
+
+
+def visible_schema(tree: TreeNode, schemas: dict[str, list[str]]) -> set[str]:
+    """Qualified attributes visible in the output of ``tree``.
+
+    ``schemas`` maps relation name -> unqualified attribute names.
+    Semi/anti joins hide the right input entirely; nestjoins replace it
+    with their aggregate attributes.
+    """
+    if isinstance(tree, LeafNode):
+        name = tree.relation.name
+        return {f"{name}.{attribute}" for attribute in schemas.get(name, [])}
+    assert isinstance(tree, OpNode)
+    visible = visible_schema(tree.left, schemas)
+    if tree.op.right_side_visible:
+        visible |= visible_schema(tree.right, schemas)
+    if tree.op.base_kind == NEST_KIND:
+        visible |= {aggregate.name for aggregate in tree.aggregates}
+    return visible
+
+
+def schemas_from_tree(tree: TreeNode) -> dict[str, list[str]]:
+    """Relation schemas (attribute lists) for every leaf of ``tree``,
+    taken from the relations' declared ``attributes``."""
+    return {
+        leaf_node.relation.name: list(leaf_node.relation.attributes)
+        for leaf_node in tree.leaves()
+    }
+
+
+def rows_as_bag(rows: Iterable[Row]) -> list[tuple]:
+    """Canonical, hashable bag representation for result comparison.
+
+    Rows become attribute-sorted item tuples; the bag is sorted by
+    ``repr`` so NULLs (``None``) compare against any value type.
+    """
+    return sorted(
+        (
+            tuple(sorted(row.items(), key=lambda item: item[0]))
+            for row in rows
+        ),
+        key=repr,
+    )

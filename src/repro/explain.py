@@ -1,0 +1,102 @@
+"""EXPLAIN-style plan rendering.
+
+Turns optimizer output into the indented operator-tree listings every
+database ships, with per-node estimated cardinality and cumulative
+cost, plus a Graphviz ``dot`` serialization for figures.
+
+Example output::
+
+    join  (rows=1,200  cost=46,200)  [R1.a = R2.a]
+    ├── scan R0  (rows=1,000)
+    └── leftouter  (rows=4,000  cost=5,000)
+        ├── scan R1  (rows=4,000)
+        └── scan R2  (rows=50)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .algebra.hyperedges import EdgeInfo
+from .core import bitset
+from .core.plans import Plan
+
+
+def _node_label(plan: Plan, names: Optional[Sequence[str]]) -> str:
+    if plan.is_leaf:
+        name = bitset.format_set(plan.nodes, names)[1:-1]
+        return f"scan {name}  (rows={plan.cardinality:,.0f})"
+    operator = plan.operator if plan.operator is not None else "join"
+    label = (
+        f"{operator}  (rows={plan.cardinality:,.0f}  "
+        f"cost={plan.cost:,.0f})"
+    )
+    predicates = [
+        str(edge.payload.predicate)
+        for edge in plan.edges
+        if isinstance(edge.payload, EdgeInfo)
+    ]
+    if predicates:
+        label += "  [" + " AND ".join(predicates) + "]"
+    return label
+
+
+def explain(plan: Plan, names: Optional[Sequence[str]] = None) -> str:
+    """Indented tree rendering of a plan (box-drawing connectors)."""
+    lines: list[str] = []
+
+    def walk(node: Plan, prefix: str, connector: str, child_prefix: str) -> None:
+        lines.append(prefix + connector + _node_label(node, names))
+        if node.is_leaf:
+            return
+        walk(node.left, child_prefix, "├── ", child_prefix + "│   ")
+        walk(node.right, child_prefix, "└── ", child_prefix + "    ")
+
+    walk(plan, "", "", "")
+    return "\n".join(lines)
+
+
+def explain_dot(plan: Plan, names: Optional[Sequence[str]] = None) -> str:
+    """Graphviz ``digraph`` serialization of a plan."""
+    lines = ["digraph plan {", "  node [shape=box];"]
+    counter = [0]
+
+    def walk(node: Plan) -> int:
+        me = counter[0]
+        counter[0] += 1
+        label = _node_label(node, names).replace('"', "'")
+        lines.append(f'  n{me} [label="{label}"];')
+        if not node.is_leaf:
+            left_id = walk(node.left)
+            right_id = walk(node.right)
+            lines.append(f"  n{me} -> n{left_id};")
+            lines.append(f"  n{me} -> n{right_id};")
+        return me
+
+    walk(plan)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def plan_summary(plan: Plan) -> dict:
+    """Aggregate plan metrics for reports and assertions."""
+    joins = plan.count_joins()
+    max_intermediate = 0.0
+
+    def walk(node: Plan) -> None:
+        nonlocal max_intermediate
+        if node.is_leaf:
+            return
+        max_intermediate = max(max_intermediate, node.cardinality)
+        walk(node.left)
+        walk(node.right)
+
+    walk(plan)
+    return {
+        "joins": joins,
+        "depth": plan.depth(),
+        "bushy": plan.depth() < joins if joins else False,
+        "cost": plan.cost,
+        "output_rows": plan.cardinality,
+        "max_intermediate_rows": max_intermediate,
+    }

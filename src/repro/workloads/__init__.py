@@ -1,0 +1,28 @@
+"""Workload generators: classic shapes, the paper's hypergraph
+families, Section-5 operator-tree workloads, and random inputs for
+property-based testing."""
+
+from .generators import SHAPES, Query, chain, clique, cycle, grid, star
+from .hyper import (
+    cycle_hypergraph,
+    max_splits,
+    split_schedule,
+    star_hypergraph,
+)
+from .random_queries import random_hypergraph_query, random_simple_query
+
+__all__ = [
+    "SHAPES",
+    "Query",
+    "chain",
+    "clique",
+    "cycle",
+    "grid",
+    "star",
+    "cycle_hypergraph",
+    "max_splits",
+    "split_schedule",
+    "star_hypergraph",
+    "random_hypergraph_query",
+    "random_simple_query",
+]

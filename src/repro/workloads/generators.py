@@ -1,0 +1,149 @@
+"""Standard query-graph shapes: chain, cycle, star, clique, grid.
+
+These are the canonical join-ordering workloads ([17] and Section 4 of
+the paper).  Every generator returns a :class:`Query` bundling the
+hypergraph with base cardinalities, so benchmarks and examples need a
+single call.  Cardinalities and selectivities are drawn from a seeded
+:class:`random.Random` for reproducibility, or fixed via arguments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..core.hypergraph import Hypergraph
+
+
+@dataclass
+class Query:
+    """A self-contained join-ordering problem instance."""
+
+    graph: Hypergraph
+    cardinalities: list[float]
+    description: str = ""
+    #: free-form extras (e.g. operator tree for Section-5 workloads)
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def n_relations(self) -> int:
+        return self.graph.n_nodes
+
+
+def _cardinalities(
+    n: int, rng: Optional[random.Random], fixed: Optional[Sequence[float]]
+) -> list[float]:
+    if fixed is not None:
+        if len(fixed) != n:
+            raise ValueError(f"expected {n} cardinalities, got {len(fixed)}")
+        return [float(c) for c in fixed]
+    if rng is None:
+        rng = random.Random(0)
+    return [float(rng.randint(10, 10_000)) for _ in range(n)]
+
+
+def _selectivity(rng: Optional[random.Random]) -> float:
+    if rng is None:
+        return 0.1
+    return rng.uniform(0.001, 0.5)
+
+
+def chain(
+    n: int,
+    seed: int = 0,
+    cardinalities: Optional[Sequence[float]] = None,
+) -> Query:
+    """Chain query: edges ``R_i -- R_{i+1}``."""
+    if n < 1:
+        raise ValueError("need at least one relation")
+    rng = random.Random(seed)
+    graph = Hypergraph(n_nodes=n)
+    for i in range(n - 1):
+        graph.add_simple_edge(i, i + 1, selectivity=_selectivity(rng))
+    return Query(graph, _cardinalities(n, rng, cardinalities), f"chain-{n}")
+
+
+def cycle(
+    n: int,
+    seed: int = 0,
+    cardinalities: Optional[Sequence[float]] = None,
+) -> Query:
+    """Cycle query: a chain closed with edge ``R_{n-1} -- R_0``."""
+    if n < 3:
+        raise ValueError("a cycle needs at least three relations")
+    rng = random.Random(seed)
+    graph = Hypergraph(n_nodes=n)
+    for i in range(n):
+        graph.add_simple_edge(i, (i + 1) % n, selectivity=_selectivity(rng))
+    return Query(graph, _cardinalities(n, rng, cardinalities), f"cycle-{n}")
+
+
+def star(
+    n_satellites: int,
+    seed: int = 0,
+    cardinalities: Optional[Sequence[float]] = None,
+) -> Query:
+    """Star query: hub ``R_0`` joined to ``n_satellites`` satellites.
+
+    The data-warehouse classic (Section 4.3).  Node 0 is the hub.
+    """
+    if n_satellites < 1:
+        raise ValueError("need at least one satellite")
+    n = n_satellites + 1
+    rng = random.Random(seed)
+    graph = Hypergraph(n_nodes=n)
+    for i in range(1, n):
+        graph.add_simple_edge(0, i, selectivity=_selectivity(rng))
+    return Query(
+        graph, _cardinalities(n, rng, cardinalities), f"star-{n_satellites}"
+    )
+
+
+def clique(
+    n: int,
+    seed: int = 0,
+    cardinalities: Optional[Sequence[float]] = None,
+) -> Query:
+    """Clique query: every pair of relations is joined."""
+    if n < 2:
+        raise ValueError("a clique needs at least two relations")
+    rng = random.Random(seed)
+    graph = Hypergraph(n_nodes=n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            graph.add_simple_edge(i, j, selectivity=_selectivity(rng))
+    return Query(graph, _cardinalities(n, rng, cardinalities), f"clique-{n}")
+
+
+def grid(
+    rows: int,
+    cols: int,
+    seed: int = 0,
+    cardinalities: Optional[Sequence[float]] = None,
+) -> Query:
+    """Grid query: relations on a ``rows x cols`` lattice."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    n = rows * cols
+    rng = random.Random(seed)
+    graph = Hypergraph(n_nodes=n)
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                graph.add_simple_edge(node, node + 1, _selectivity(rng))
+            if r + 1 < rows:
+                graph.add_simple_edge(node, node + cols, _selectivity(rng))
+    return Query(
+        graph, _cardinalities(n, rng, cardinalities), f"grid-{rows}x{cols}"
+    )
+
+
+#: Shape registry used by the CLI and parameterized tests.
+SHAPES = {
+    "chain": chain,
+    "cycle": cycle,
+    "star": star,
+    "clique": clique,
+}

@@ -1,0 +1,184 @@
+"""The paper's hypergraph workloads (Section 4).
+
+"The general design principle of our hypergraphs used in the
+experiments is that we start with a simple graph and add one big
+hyperedge to it.  Then, we successively split the hyperedge into two
+smaller ones until we reach simple edges."
+
+:func:`cycle_hypergraph` reproduces Fig. 4a: a cycle of ``n`` relations
+plus the hyperedge ``({R_0..R_{n/2-1}}, {R_{n/2}..R_{n-1}})``; each
+split halves every hypernode of every current hyperedge.
+
+:func:`star_hypergraph` reproduces Fig. 4b: a hub plus ``n`` satellite
+relations, with the hyperedge ``({R_1..R_{n/2}}, {R_{n/2+1}..R_n})``
+over the satellites.
+
+The split schedule matches the paper exactly: ``G0`` has one hyperedge
+with two hypernodes of ``n/2`` (satellites: ``n/2``) relations each;
+``G_{k+1}`` is derived from ``G_k`` by splitting each remaining
+non-simple hyperedge's hypernodes in half, e.g. for the 8-cycle::
+
+    split 0: ({R0,R1,R2,R3}, {R4,R5,R6,R7})
+    split 1: ({R0,R1}, {R6,R7}) and ({R2,R3}, {R4,R5})
+    split 2: ({R0},{R6}), ({R1},{R7}) and ({R2,R3},{R4,R5})
+    split 3: all simple
+
+Splitting proceeds breadth-first over the hyperedges, oldest first,
+exactly like deriving ``G2`` from ``G1`` in the paper ("G2 splits the
+*first* hyperedge").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from ..core import bitset
+from ..core.hypergraph import Hyperedge, Hypergraph
+from .generators import Query, _cardinalities
+
+
+def _split_hyperedge(edge: Hyperedge) -> list[Hyperedge]:
+    """Split both hypernodes of ``edge`` in half, pairing first half
+    with last half as the paper's example does:
+    ``({R0..R3},{R4..R7})`` becomes ``({R0,R1},{R6,R7})`` and
+    ``({R2,R3},{R4,R5})``."""
+    left = bitset.to_sorted_tuple(edge.left)
+    right = bitset.to_sorted_tuple(edge.right)
+    if len(left) == 1 and len(right) == 1:
+        return [edge]
+    half_l = max(1, len(left) // 2)
+    half_r = max(1, len(right) // 2)
+    if len(left) == 1:
+        # One-sided split (odd sizes, beyond the paper's power-of-two
+        # schedule): peel the right hypernode in half.
+        pairs = [(left, right[:half_r]), (left, right[half_r:])]
+    elif len(right) == 1:
+        pairs = [(left[:half_l], right), (left[half_l:], right)]
+    elif len(left) == 2 and len(right) == 2:
+        # Final split level: the paper pairs aligned halves —
+        # ({R0,R1},{R6,R7}) becomes ({R0},{R6}) and ({R1},{R7}).
+        pairs = [
+            (left[:1], right[:1]),
+            (left[1:], right[1:]),
+        ]
+    else:
+        # Upper levels cross the halves — ({R0..R3},{R4..R7}) becomes
+        # ({R0,R1},{R6,R7}) and ({R2,R3},{R4,R5}).
+        pairs = [
+            (left[:half_l], right[half_r:]),
+            (left[half_l:], right[:half_r]),
+        ]
+    return [
+        Hyperedge(
+            left=bitset.from_iterable(new_left),
+            right=bitset.from_iterable(new_right),
+            selectivity=edge.selectivity,
+            payload=edge.payload,
+        )
+        for new_left, new_right in pairs
+    ]
+
+
+def split_schedule(initial: Hyperedge, splits: int) -> list[Hyperedge]:
+    """Apply ``splits`` rounds of hyperedge splitting, breadth-first.
+
+    Each round splits the oldest remaining non-simple hyperedge.  After
+    enough rounds only simple edges remain and further rounds are
+    no-ops, mirroring "until we reach simple edges".
+    """
+    queue: list[Hyperedge] = [initial]
+    for _ in range(splits):
+        for i, edge in enumerate(queue):
+            if not edge.is_simple:
+                queue[i:i + 1] = _split_hyperedge(edge)
+                break
+    return queue
+
+
+def max_splits(n_in_hypernode: int) -> int:
+    """Number of split steps until the initial hyperedge over two
+    ``n_in_hypernode``-sized hypernodes becomes all-simple.
+
+    A hyperedge over two ``k``-node sides decomposes into ``k`` simple
+    edges after ``k - 1`` splits (each split turns one edge into two).
+    """
+    return max(0, n_in_hypernode - 1)
+
+
+def cycle_hypergraph(
+    n: int,
+    splits: int,
+    seed: int = 0,
+    cardinalities: Optional[Sequence[float]] = None,
+    hyperedge_selectivity: float = 0.2,
+) -> Query:
+    """Cycle-based hypergraph of Fig. 4a with ``splits`` splits applied.
+
+    ``n`` must be even and at least 4.  ``splits`` ranges from 0 (one
+    big hyperedge over two ``n/2``-relation hypernodes) to
+    ``max_splits(n // 2)`` (all simple).
+    """
+    if n < 4 or n % 2:
+        raise ValueError("cycle hypergraphs need an even n >= 4")
+    limit = max_splits(n // 2)
+    if not 0 <= splits <= limit:
+        raise ValueError(f"splits must be in [0, {limit}] for n={n}")
+    rng = random.Random(seed)
+    graph = Hypergraph(n_nodes=n)
+    for i in range(n):
+        graph.add_simple_edge(i, (i + 1) % n, selectivity=rng.uniform(0.01, 0.5))
+    initial = Hyperedge(
+        left=bitset.from_iterable(range(n // 2)),
+        right=bitset.from_iterable(range(n // 2, n)),
+        selectivity=hyperedge_selectivity,
+    )
+    for edge in split_schedule(initial, splits):
+        graph.add_edge(edge)
+    return Query(
+        graph,
+        _cardinalities(n, rng, cardinalities),
+        f"cycle-hyper-{n}-splits-{splits}",
+        meta={"splits": splits, "shape": "cycle"},
+    )
+
+
+def star_hypergraph(
+    n_satellites: int,
+    splits: int,
+    seed: int = 0,
+    cardinalities: Optional[Sequence[float]] = None,
+    hyperedge_selectivity: float = 0.2,
+) -> Query:
+    """Star-based hypergraph of Fig. 4b with ``splits`` splits applied.
+
+    Node 0 is the hub; the initial hyperedge pairs the first half of
+    the satellites against the second half.  ``n_satellites`` must be
+    even and at least 2.
+    """
+    if n_satellites < 2 or n_satellites % 2:
+        raise ValueError("star hypergraphs need an even satellite count >= 2")
+    limit = max_splits(n_satellites // 2)
+    if not 0 <= splits <= limit:
+        raise ValueError(
+            f"splits must be in [0, {limit}] for {n_satellites} satellites"
+        )
+    n = n_satellites + 1
+    rng = random.Random(seed)
+    graph = Hypergraph(n_nodes=n)
+    for i in range(1, n):
+        graph.add_simple_edge(0, i, selectivity=rng.uniform(0.01, 0.5))
+    half = n_satellites // 2
+    initial = Hyperedge(
+        left=bitset.from_iterable(range(1, 1 + half)),
+        right=bitset.from_iterable(range(1 + half, n)),
+        selectivity=hyperedge_selectivity,
+    )
+    for edge in split_schedule(initial, splits):
+        graph.add_edge(edge)
+    return Query(
+        graph,
+        _cardinalities(n, rng, cardinalities),
+        f"star-hyper-{n_satellites}-splits-{splits}",
+        meta={"splits": splits, "shape": "star"},
+    )

@@ -1,0 +1,119 @@
+"""Section 5.8 workloads: operator trees with non-inner joins.
+
+* :func:`star_antijoin_tree` — "a left-deep operator tree for a star
+  query with 16 relations, with an increasing number of antijoins"
+  (Fig. 8a).
+* :func:`cycle_outerjoin_tree` — "a cycle query with 16 relations
+  similar to the star query above, [where we] replaced inner joins
+  with outer joins" (Fig. 8b).
+
+Both return the initial :class:`~repro.algebra.optree.OpNode` tree;
+feed it to :func:`repro.algebra.optimize_operator_tree`.  With
+``with_rows=True`` the relations carry small materialized tables so
+the execution engine can validate plans end-to-end.
+"""
+
+from __future__ import annotations
+
+import random
+from ..algebra.expr import Conjunction, Equals, attr
+from ..algebra.operators import ANTI, JOIN, LEFT_OUTER, Operator
+from ..algebra.optree import OpNode, Relation, TreeNode, leaf, node
+from ..engine.table import base_relation
+
+
+def _relation(
+    name: str,
+    rng: random.Random,
+    with_rows: bool,
+    n_rows: int,
+) -> Relation:
+    if with_rows:
+        tuples = [
+            (rng.randint(0, 5), rng.randint(0, 5)) for _ in range(n_rows)
+        ]
+        return base_relation(name, ["a", "b"], tuples)
+    return Relation(
+        name=name,
+        cardinality=float(rng.randint(10, 10_000)),
+        attributes=("a", "b"),
+    )
+
+
+def star_antijoin_tree(
+    n_satellites: int,
+    n_antijoins: int,
+    seed: int = 0,
+    with_rows: bool = False,
+    n_rows: int = 6,
+) -> OpNode:
+    """Left-deep star tree ``(((R0 op R1) op R2) ...)``.
+
+    ``R0`` is the hub; the **last** ``n_antijoins`` operators are
+    antijoins, the rest inner joins.  Every predicate is
+    ``R0.a = Ri.a`` (hub to satellite), so the query graph is a star.
+    Antijoins on top mirrors the paper's construction where antijoins
+    restrict the reorderable prefix.
+    """
+    if not 0 <= n_antijoins <= n_satellites:
+        raise ValueError("n_antijoins must be within [0, n_satellites]")
+    rng = random.Random(seed)
+    tree: TreeNode = leaf(_relation("R0", rng, with_rows, n_rows))
+    first_anti = n_satellites - n_antijoins
+    for i in range(1, n_satellites + 1):
+        op: Operator = ANTI if (i - 1) >= first_anti else JOIN
+        satellite = leaf(_relation(f"R{i}", rng, with_rows, n_rows))
+        predicate = Equals(
+            attr("R0.a"), attr(f"R{i}.a"), selectivity=rng.uniform(0.01, 0.5)
+        )
+        tree = node(op, tree, satellite, predicate)
+    assert isinstance(tree, OpNode)
+    return tree
+
+
+def cycle_outerjoin_tree(
+    n: int,
+    n_outerjoins: int,
+    seed: int = 0,
+    with_rows: bool = False,
+    n_rows: int = 6,
+) -> OpNode:
+    """Left-deep cycle tree with ``n_outerjoins`` left outer joins.
+
+    Chain predicates ``R_{i-1}.b = R_i.a`` plus the cycle-closing
+    predicate ``R_{n-1}.b = R_0.a`` conjoined into the top operator.
+    The **first** ``n_outerjoins`` operators (closest to the leaves)
+    are left outer joins, the rest inner joins — outer joins low in the
+    tree constrain the largest part of the search space, matching the
+    paper's observation that the runtime first drops and then rises
+    again as outer joins (associative among themselves) take over.
+
+    When the top operator is an outer join, the closing predicate must
+    not be merged into it (that would change semantics); it is instead
+    attached to the last *inner* join above both endpoints — with all
+    operators outer (``n_outerjoins == n - 1``) the closing predicate
+    is dropped, turning the query into a chain, which the paper's
+    formulation would equally refuse to merge.
+    """
+    if n < 3:
+        raise ValueError("a cycle needs at least three relations")
+    if not 0 <= n_outerjoins <= n - 1:
+        raise ValueError("n_outerjoins must be within [0, n-1]")
+    rng = random.Random(seed)
+    closing = Equals(
+        attr(f"R{n - 1}.b"), attr("R0.a"), selectivity=rng.uniform(0.01, 0.5)
+    )
+    tree: TreeNode = leaf(_relation("R0", rng, with_rows, n_rows))
+    for i in range(1, n):
+        op: Operator = LEFT_OUTER if (i - 1) < n_outerjoins else JOIN
+        right = leaf(_relation(f"R{i}", rng, with_rows, n_rows))
+        predicate = Equals(
+            attr(f"R{i - 1}.b"),
+            attr(f"R{i}.a"),
+            selectivity=rng.uniform(0.01, 0.5),
+        )
+        if i == n - 1 and op is JOIN:
+            predicate = Conjunction((predicate, closing))
+        tree = node(op, tree, right, predicate)
+    assert isinstance(tree, OpNode)
+    return tree

@@ -1,0 +1,132 @@
+"""Random query generators for the correctness test suites.
+
+Random inputs follow the paper's own design principle for hypergraph
+workloads — a connected simple skeleton plus hyperedges on top — which
+also guarantees Definition-3 connectivity of every generated graph (a
+hyperedge side whose relations are otherwise unreachable would make the
+query unplannable without cross products).
+
+Two flavours:
+
+* :func:`random_simple_query` — random connected simple graph
+  (spanning tree plus extra edges).
+* :func:`random_hypergraph_query` — spanning structure plus random
+  hyperedges, optionally *bridged*: the node set is partitioned into
+  islands, each internally tree-connected, with hyperedges as the only
+  bridges (the shape of the paper's Fig. 2).
+"""
+
+from __future__ import annotations
+
+import random
+from ..core import bitset
+from ..core.hypergraph import Hyperedge, Hypergraph
+from .generators import Query
+
+
+def _random_tree_edges(
+    nodes: list[int], rng: random.Random
+) -> list[tuple[int, int]]:
+    """Random spanning tree over ``nodes``: each node links to a random
+    earlier node (random recursive tree)."""
+    edges = []
+    for i in range(1, len(nodes)):
+        j = rng.randrange(i)
+        edges.append((nodes[j], nodes[i]))
+    return edges
+
+
+def random_simple_query(
+    n: int,
+    seed: int,
+    extra_edge_probability: float = 0.3,
+) -> Query:
+    """Random connected simple graph with ``n`` relations."""
+    if n < 1:
+        raise ValueError("need at least one relation")
+    rng = random.Random(seed)
+    graph = Hypergraph(n_nodes=n)
+    seen: set[tuple[int, int]] = set()
+    for a, b in _random_tree_edges(list(range(n)), rng):
+        graph.add_simple_edge(a, b, selectivity=rng.uniform(0.01, 0.9))
+        seen.add((min(a, b), max(a, b)))
+    for a in range(n):
+        for b in range(a + 1, n):
+            if (a, b) not in seen and rng.random() < extra_edge_probability:
+                graph.add_simple_edge(a, b, selectivity=rng.uniform(0.01, 0.9))
+    cards = [float(rng.randint(1, 1000)) for _ in range(n)]
+    return Query(graph, cards, f"random-simple-{n}-seed-{seed}")
+
+
+def _random_hypernode(
+    rng: random.Random, pool: int, max_size: int
+) -> int:
+    """Pick a random non-empty subset of the ``pool`` bitmap with at
+    most ``max_size`` nodes."""
+    nodes = list(bitset.iter_nodes(pool))
+    size = rng.randint(1, min(max_size, len(nodes)))
+    return bitset.from_iterable(rng.sample(nodes, size))
+
+
+def random_hypergraph_query(
+    n: int,
+    seed: int,
+    n_hyperedges: int = 2,
+    max_hypernode: int = 3,
+    n_islands: int = 1,
+    flex_probability: float = 0.0,
+) -> Query:
+    """Random connected hypergraph with ``n`` relations.
+
+    With ``n_islands == 1`` the whole graph shares one spanning tree
+    and hyperedges add complex predicates on top.  With more islands,
+    nodes are partitioned and islands are bridged exclusively by
+    hyperedges (plus one simple bridge chain to guarantee
+    plannability), reproducing the Fig. 2 shape where the only path
+    between two clusters is a true hyperedge.
+
+    ``flex_probability`` turns some hyperedges into *generalized*
+    edges by moving a node into the flex set (Definition 6).
+    """
+    if n < 2:
+        raise ValueError("need at least two relations")
+    rng = random.Random(seed)
+    n_islands = max(1, min(n_islands, n))
+    graph = Hypergraph(n_nodes=n)
+
+    nodes = list(range(n))
+    rng.shuffle(nodes)
+    islands: list[list[int]] = [[] for _ in range(n_islands)]
+    for i, node in enumerate(nodes):
+        islands[i % n_islands].append(node)
+    for island in islands:
+        for a, b in _random_tree_edges(island, rng):
+            graph.add_simple_edge(a, b, selectivity=rng.uniform(0.01, 0.9))
+    # Bridge islands with simple edges so every generated query stays
+    # plannable even when the random hyperedges are too restrictive.
+    for first, second in zip(islands, islands[1:]):
+        graph.add_simple_edge(
+            rng.choice(first), rng.choice(second), selectivity=rng.uniform(0.01, 0.9)
+        )
+
+    universe = graph.all_nodes
+    for _ in range(n_hyperedges):
+        left = _random_hypernode(rng, universe, max_hypernode)
+        right_pool = universe & ~left
+        if right_pool == 0:
+            continue
+        right = _random_hypernode(rng, right_pool, max_hypernode)
+        flex = 0
+        flex_pool = universe & ~(left | right)
+        if flex_pool and rng.random() < flex_probability:
+            flex = bitset.min_bit(flex_pool)
+        graph.add_edge(
+            Hyperedge(
+                left=left,
+                right=right,
+                flex=flex,
+                selectivity=rng.uniform(0.01, 0.9),
+            )
+        )
+    cards = [float(rng.randint(1, 1000)) for _ in range(n)]
+    return Query(graph, cards, f"random-hyper-{n}-seed-{seed}")

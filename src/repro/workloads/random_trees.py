@@ -1,0 +1,148 @@
+"""Random initial operator trees with data — the Section 5 fuzzer.
+
+:func:`random_operator_tree` produces a random *valid* initial
+operator tree over small materialized relations, optionally including
+non-inner operators, nestjoins with aggregates, and table-valued
+function leaves for the dependent-join path.  The property tests
+optimize these trees and execute both versions, demanding identical
+result bags.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from ..algebra.expr import Aggregate, Equals, attr
+from ..algebra.operators import (
+    ANTI,
+    DEPENDENT_ANTI,
+    DEPENDENT_JOIN,
+    DEPENDENT_LEFT_OUTER,
+    DEPENDENT_SEMI,
+    FULL_OUTER,
+    JOIN,
+    LEFT_OUTER,
+    NEST,
+    SEMI,
+    Operator,
+)
+from ..algebra.optree import (
+    LeafNode,
+    TreeNode,
+    available_attribute_tables,
+    leaf,
+    node,
+)
+from ..engine.table import base_relation, table_function
+
+DEFAULT_OPERATOR_POOL: tuple[Operator, ...] = (
+    JOIN,
+    JOIN,  # weighted: joins are the common case
+    LEFT_OUTER,
+    SEMI,
+    ANTI,
+    FULL_OUTER,
+    NEST,
+)
+
+#: operators that can evaluate a correlated right side (the d-family);
+#: the full outer join is excluded — it has no dependent variant.
+DEPENDENT_POOL: tuple[Operator, ...] = (
+    DEPENDENT_JOIN,
+    DEPENDENT_JOIN,
+    DEPENDENT_LEFT_OUTER,
+    DEPENDENT_SEMI,
+    DEPENDENT_ANTI,
+)
+
+
+def _random_relation(
+    name: str, rng: random.Random, max_rows: int
+) -> LeafNode:
+    n_rows = rng.randint(0, max_rows)  # empty relations are fair game
+    tuples = [
+        (rng.randint(0, 4), rng.randint(0, 4)) for _ in range(n_rows)
+    ]
+    return leaf(base_relation(name, ["a", "b"], tuples))
+
+
+def _random_table_function(
+    name: str, provider: str, rng: random.Random, max_rows: int
+) -> LeafNode:
+    """A correlated table function: rows derived from the provider's
+    ``a`` attribute (think ``generate_series(0, R.a)``)."""
+    limit = rng.randint(1, max_rows)
+    key = f"{provider}.a"
+
+    def fn(context):
+        value = context.get(key)
+        if value is None:
+            return []
+        return [(value, i) for i in range(min(int(value) + 1, limit))]
+
+    return leaf(
+        table_function(
+            name,
+            ["a", "b"],
+            free_tables=[provider],
+            fn=fn,
+            cardinality=float(limit),
+        )
+    )
+
+
+def random_operator_tree(
+    n_relations: int,
+    seed: int,
+    operator_pool: Sequence[Operator] = DEFAULT_OPERATOR_POOL,
+    max_rows: int = 5,
+    table_function_probability: float = 0.0,
+    nest_counter: Optional[list[int]] = None,
+) -> TreeNode:
+    """Grow a random valid left-to-right operator tree.
+
+    The tree is grown by repeatedly attaching a fresh leaf to the
+    current tree with a random operator whose predicate links the new
+    relation to a randomly chosen *attribute-visible* relation of the
+    current tree — guaranteeing validity by construction.  With
+    probability ``table_function_probability`` the new leaf is a
+    correlated table function over a visible relation (exercising the
+    dependent-join machinery).
+    """
+    if n_relations < 1:
+        raise ValueError("need at least one relation")
+    rng = random.Random(seed)
+    tree: TreeNode = _random_relation("R0", rng, max_rows)
+    nest_id = 0
+    for i in range(1, n_relations):
+        name = f"R{i}"
+        real_relations = {leaf_node.relation.name for leaf_node in tree.leaves()}
+        # Attribute-visible *base* relations only: nestjoin group
+        # pseudo-relations have no joinable ``a`` attribute.
+        visible = sorted(available_attribute_tables(tree) & real_relations)
+        provider = rng.choice(visible)
+        if rng.random() < table_function_probability:
+            # A correlated leaf needs a dependent operator in the
+            # initial tree: ``R dop S(R)`` (Section 5.1/5.6).
+            new_leaf = _random_table_function(name, provider, rng, max_rows)
+            op = rng.choice(list(DEPENDENT_POOL))
+        else:
+            new_leaf = _random_relation(name, rng, max_rows)
+            op = rng.choice(list(operator_pool))
+        predicate = Equals(
+            attr(f"{provider}.a"),
+            attr(f"{name}.a"),
+            selectivity=rng.uniform(0.05, 0.9),
+        )
+        if op.base_kind == "nest":
+            aggregates = (
+                Aggregate(name=f"G{nest_id}.cnt", fn=len),
+            )
+            nest_id += 1
+            tree = node(op, tree, new_leaf, predicate, aggregates)
+        else:
+            tree = node(op, tree, new_leaf, predicate)
+    if nest_counter is not None:
+        nest_counter.append(nest_id)
+    return tree

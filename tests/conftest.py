@@ -1,0 +1,45 @@
+"""Shared fixtures: the paper's running examples and tiny helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import bitset
+from repro.core.hypergraph import Hyperedge, Hypergraph
+
+
+@pytest.fixture
+def fig2_graph() -> Hypergraph:
+    """The paper's Fig. 2 hypergraph: two simple chains R1-R2-R3 and
+    R4-R5-R6 bridged by the hyperedge ({R1,R2,R3},{R4,R5,R6}).
+
+    Nodes are 0-based here: paper's R1..R6 are nodes 0..5.
+    """
+    graph = Hypergraph(n_nodes=6)
+    graph.add_simple_edge(0, 1, selectivity=0.1)
+    graph.add_simple_edge(1, 2, selectivity=0.2)
+    graph.add_simple_edge(3, 4, selectivity=0.3)
+    graph.add_simple_edge(4, 5, selectivity=0.4)
+    graph.add_edge(
+        Hyperedge(
+            left=bitset.set_of(0, 1, 2),
+            right=bitset.set_of(3, 4, 5),
+            selectivity=0.05,
+        )
+    )
+    return graph
+
+
+@pytest.fixture
+def fig2_cardinalities() -> list[float]:
+    return [10.0, 20.0, 30.0, 40.0, 50.0, 60.0]
+
+
+@pytest.fixture
+def triangle_graph() -> Hypergraph:
+    """Cycle of three relations — smallest graph with redundant edges."""
+    graph = Hypergraph(n_nodes=3)
+    graph.add_simple_edge(0, 1, selectivity=0.1)
+    graph.add_simple_edge(1, 2, selectivity=0.2)
+    graph.add_simple_edge(2, 0, selectivity=0.3)
+    return graph

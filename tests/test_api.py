@@ -1,0 +1,57 @@
+"""Tests for the top-level optimize() facade."""
+
+import pytest
+
+from repro import Hypergraph, optimize
+from repro.api import ALGORITHMS
+from repro.workloads import cycle
+
+
+class TestOptimize:
+    def test_default_algorithm_is_dphyp(self):
+        query = cycle(5, seed=0)
+        result = optimize(query.graph, query.cardinalities)
+        assert result.algorithm == "dphyp"
+        assert result.plan is not None
+        assert result.cost > 0
+        assert result.cardinality > 0
+
+    def test_all_algorithms_registered_and_agree(self):
+        query = cycle(5, seed=0)
+        costs = {}
+        for name in ALGORITHMS:
+            if name == "dpccp" and not query.graph.is_simple:
+                continue
+            costs[name] = optimize(query.graph, query.cardinalities, name).cost
+        exact = {k: v for k, v in costs.items() if k != "greedy"}
+        reference = next(iter(exact.values()))
+        for name, cost in exact.items():
+            assert cost == pytest.approx(reference), name
+        assert costs["greedy"] >= reference - 1e-9
+
+    def test_unknown_algorithm_rejected(self):
+        graph = Hypergraph(n_nodes=1)
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            optimize(graph, [1.0], algorithm="magic")
+
+    def test_default_cardinalities(self):
+        graph = Hypergraph(n_nodes=2)
+        graph.add_simple_edge(0, 1, selectivity=1.0)
+        result = optimize(graph)
+        assert result.plan.cardinality == pytest.approx(100.0)  # 10 * 10
+
+    def test_disconnected_result_raises_on_cost(self):
+        graph = Hypergraph(n_nodes=2)
+        result = optimize(graph, [1.0, 1.0])
+        assert result.plan is None
+        with pytest.raises(ValueError):
+            _ = result.cost
+        with pytest.raises(ValueError):
+            _ = result.cardinality
+
+    def test_stats_populated(self):
+        query = cycle(5, seed=0)
+        result = optimize(query.graph, query.cardinalities)
+        assert result.stats.ccp_emitted > 0
+        assert result.stats.table_entries > 0
+        assert result.stats.cost_calls >= result.stats.ccp_emitted

@@ -1,0 +1,163 @@
+"""Tests for the benchmark harness, experiment drivers, and CLI."""
+
+import pytest
+
+from repro.bench.experiments import EXPERIMENTS, table_cycle4, table_star4
+from repro.bench.harness import (
+    ExperimentResult,
+    Series,
+    measure_algorithm,
+    measure_tree,
+    scaled,
+    time_call,
+)
+from repro.bench.reporting import (
+    render_markdown,
+    render_table,
+    summarize_winners,
+)
+from repro.workloads import chain
+from repro.workloads.nonreorderable import star_antijoin_tree
+
+
+class TestScaled:
+    def test_default_cap(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_FULL", raising=False)
+        monkeypatch.delenv("REPRO_BENCH_MAX_N", raising=False)
+        assert scaled(16, 12) == 12
+        assert scaled(8, 12) == 8
+
+    def test_full_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_FULL", "1")
+        assert scaled(16, 12) == 16
+
+    def test_custom_cap(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_FULL", raising=False)
+        monkeypatch.setenv("REPRO_BENCH_MAX_N", "6")
+        assert scaled(16, 12) == 6
+
+
+class TestMeasurement:
+    def test_time_call_returns_positive(self):
+        assert time_call(lambda: sum(range(100)), repeat=2) > 0.0
+
+    def test_measure_algorithm(self):
+        query = chain(4, seed=0)
+        m = measure_algorithm(query.graph, query.cardinalities, "dphyp",
+                              repeat=1)
+        assert m.milliseconds > 0
+        assert m.ccp == 10  # chain-4: (64-4)/6
+        assert m.cost is not None
+
+    def test_measure_tree(self):
+        tree = star_antijoin_tree(3, 1, seed=0)
+        m = measure_tree(tree, repeat=1)
+        assert m.milliseconds > 0
+        assert m.cost is not None
+
+
+class TestExperimentDrivers:
+    def test_registry_covers_every_table_and_figure(self):
+        assert set(EXPERIMENTS) == {
+            "table-cycle4",
+            "fig5-cycle8",
+            "fig5-cycle16",
+            "table-star4",
+            "fig6-star8",
+            "fig6-star16",
+            "fig7-regular",
+            "fig8a-antijoin",
+            "fig8b-outerjoin",
+        }
+
+    def test_table_cycle4_shape(self):
+        result = table_cycle4()
+        assert result.x_values == [0, 1]
+        assert [s.label for s in result.series] == ["dphyp", "dpsize", "dpsub"]
+        for series in result.series:
+            assert set(series.points) == {0, 1}
+        # all algorithms agree on enumeration-theoretic facts:
+        # DPhyp emits each ccp once, DPsub the same, DPsize twice
+        hyp = result.series_by_label("dphyp")
+        sub = result.series_by_label("dpsub")
+        size = result.series_by_label("dpsize")
+        for split in result.x_values:
+            assert hyp.points[split].ccp == sub.points[split].ccp
+            assert size.points[split].ccp == 2 * hyp.points[split].ccp
+
+    def test_table_star4_dphyp_never_explores_more(self):
+        result = table_star4()
+        hyp = result.series_by_label("dphyp")
+        for other in result.series:
+            for split in result.x_values:
+                assert hyp.points[split].ccp <= other.points[split].ccp * 2
+
+    def test_small_fig8_drivers(self):
+        from repro.bench.experiments import fig8a_antijoins, fig8b_outerjoins
+
+        result_a = fig8a_antijoins(n=4)
+        assert result_a.x_values == [0, 1, 2, 3, 4]
+        hyper = result_a.series_by_label("DPhyp hypernodes")
+        # full antijoin star collapses the explored space
+        assert hyper.points[4].ccp < hyper.points[0].ccp
+
+        result_b = fig8b_outerjoins(n=5)
+        assert len(result_b.series) == 2  # DPsub excluded, as in the paper
+
+
+class TestReporting:
+    def _dummy_result(self):
+        from repro.bench.harness import Measurement
+        from repro.core.stats import SearchStats
+
+        stats = SearchStats(ccp_emitted=7)
+        series = Series(label="dphyp",
+                        points={0: Measurement(1.234, stats, 9.0)})
+        return ExperimentResult(
+            experiment_id="x",
+            title="Dummy",
+            x_label="splits",
+            x_values=[0, 1],
+            series=[series],
+            notes="scaled",
+        )
+
+    def test_render_table(self):
+        text = render_table(self._dummy_result())
+        assert "Dummy" in text
+        assert "dphyp [ms]" in text
+        assert "1.23" in text
+        assert "-" in text  # missing point at x=1
+        assert "scaled" in text
+
+    def test_render_markdown(self):
+        text = render_markdown(self._dummy_result())
+        assert text.startswith("### Dummy")
+        assert "| splits |" in text
+
+    def test_summarize_winners(self):
+        result = table_cycle4()
+        summary = summarize_winners(result)
+        assert "fastest" in summary and "slowest" in summary
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7-regular" in out
+
+    def test_run_single(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["run", "table-cycle4"]) == 0
+        out = capsys.readouterr().out
+        assert "Cycle Queries with 4 Relations" in out
+        assert "shape:" in out
+
+    def test_run_unknown(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["run", "nope"]) == 2

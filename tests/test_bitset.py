@@ -1,0 +1,131 @@
+"""Unit tests for the bitset node-set primitives."""
+
+import pytest
+
+from repro.core import bitset
+
+
+class TestConstruction:
+    def test_singleton(self):
+        assert bitset.singleton(0) == 0b1
+        assert bitset.singleton(3) == 0b1000
+
+    def test_set_of(self):
+        assert bitset.set_of() == 0
+        assert bitset.set_of(0, 2) == 0b101
+        assert bitset.set_of(2, 0, 2) == 0b101  # duplicates collapse
+
+    def test_from_iterable(self):
+        assert bitset.from_iterable([]) == 0
+        assert bitset.from_iterable(range(3)) == 0b111
+
+    def test_full_set(self):
+        assert bitset.full_set(1) == 0b1
+        assert bitset.full_set(4) == 0b1111
+
+
+class TestMembership:
+    def test_is_subset(self):
+        assert bitset.is_subset(0b101, 0b111)
+        assert bitset.is_subset(0, 0b1)
+        assert not bitset.is_subset(0b101, 0b011)
+        assert bitset.is_subset(0b101, 0b101)
+
+    def test_is_disjoint(self):
+        assert bitset.is_disjoint(0b101, 0b010)
+        assert not bitset.is_disjoint(0b101, 0b100)
+        assert bitset.is_disjoint(0, 0b111)
+
+    def test_contains(self):
+        assert bitset.contains(0b101, 0)
+        assert not bitset.contains(0b101, 1)
+        assert bitset.contains(0b101, 2)
+
+
+class TestMinMax:
+    def test_min_bit(self):
+        assert bitset.min_bit(0b1100) == 0b100
+        assert bitset.min_bit(0) == 0  # paper: min of empty set is empty
+
+    def test_min_node(self):
+        assert bitset.min_node(0b1100) == 2
+        with pytest.raises(ValueError):
+            bitset.min_node(0)
+
+    def test_max_node(self):
+        assert bitset.max_node(0b1100) == 3
+        with pytest.raises(ValueError):
+            bitset.max_node(0)
+
+    def test_without_min(self):
+        # the paper's overlined-min: S \ min(S)
+        assert bitset.without_min(bitset.set_of(3, 4, 5)) == bitset.set_of(4, 5)
+        assert bitset.without_min(0b1) == 0
+
+    def test_count(self):
+        assert bitset.count(0) == 0
+        assert bitset.count(0b1011) == 3
+
+
+class TestIteration:
+    def test_iter_nodes_ascending(self):
+        assert list(bitset.iter_nodes(0b10110)) == [1, 2, 4]
+        assert list(bitset.iter_nodes(0)) == []
+
+    def test_iter_nodes_descending(self):
+        assert list(bitset.iter_nodes_descending(0b10110)) == [4, 2, 1]
+
+    def test_to_sorted_tuple(self):
+        assert bitset.to_sorted_tuple(0b101) == (0, 2)
+
+
+class TestSubsetEnumeration:
+    def test_subsets_complete(self):
+        s = 0b1011
+        subs = list(bitset.subsets(s))
+        assert len(subs) == 2 ** 3 - 1  # all non-empty subsets
+        assert len(set(subs)) == len(subs)  # no duplicates
+        for sub in subs:
+            assert sub != 0
+            assert bitset.is_subset(sub, s)
+
+    def test_subsets_increasing_order(self):
+        subs = list(bitset.subsets(0b110))
+        assert subs == sorted(subs)
+        assert subs == [0b010, 0b100, 0b110]
+
+    def test_subsets_descending(self):
+        subs = list(bitset.subsets_descending(0b110))
+        assert subs == [0b110, 0b100, 0b010]
+
+    def test_subsets_of_empty(self):
+        assert list(bitset.subsets(0)) == []
+
+    def test_proper_subsets(self):
+        assert set(bitset.proper_subsets(0b11)) == {0b01, 0b10}
+        assert list(bitset.proper_subsets(0b1)) == []
+
+    def test_subsets_include_full_set(self):
+        assert 0b111 in set(bitset.subsets(0b111))
+
+
+class TestBelow:
+    def test_below(self):
+        # B_v = {w | w <= v}
+        assert bitset.below(0) == 0b1
+        assert bitset.below(2) == 0b111
+
+    def test_strictly_below(self):
+        assert bitset.strictly_below(0) == 0
+        assert bitset.strictly_below(3) == 0b111
+
+
+class TestFormat:
+    def test_default_names(self):
+        assert bitset.format_set(0b101) == "{R0, R2}"
+        assert bitset.format_set(0) == "{}"
+
+    def test_custom_names(self):
+        assert bitset.format_set(0b11, ["lineitem", "orders"]) == (
+            "{lineitem, orders}"
+        )

@@ -1,0 +1,62 @@
+"""Tests for the DP table."""
+
+from repro.core.dptable import DPTable
+from repro.core.plans import Plan
+
+
+def make_plan(nodes, cost, card=1.0):
+    return Plan(
+        nodes=nodes, left=None, right=None, operator=None, edges=(),
+        cardinality=card, cost=cost,
+    )
+
+
+class TestDPTable:
+    def test_empty(self):
+        table = DPTable()
+        assert len(table) == 0
+        assert 0b1 not in table
+        assert table.get(0b1) is None
+
+    def test_set_leaf(self):
+        table = DPTable()
+        leaf = make_plan(0b1, 0.0)
+        table.set_leaf(0b1, leaf)
+        assert table[0b1] is leaf
+        assert 0b1 in table
+
+    def test_offer_first_wins(self):
+        table = DPTable()
+        plan = make_plan(0b11, 7.0)
+        assert table.offer(plan)
+        assert table[0b11] is plan
+
+    def test_offer_cheaper_replaces(self):
+        table = DPTable()
+        table.offer(make_plan(0b11, 7.0))
+        cheaper = make_plan(0b11, 3.0)
+        assert table.offer(cheaper)
+        assert table[0b11] is cheaper
+
+    def test_offer_more_expensive_rejected(self):
+        table = DPTable()
+        first = make_plan(0b11, 3.0)
+        table.offer(first)
+        assert not table.offer(make_plan(0b11, 7.0))
+        assert table[0b11] is first
+
+    def test_equal_cost_tie_broken_by_cardinality(self):
+        table = DPTable()
+        table.offer(make_plan(0b11, 3.0, card=50.0))
+        slim = make_plan(0b11, 3.0, card=2.0)
+        assert table.offer(slim)
+        assert table[0b11] is slim
+        # exact duplicate does not replace
+        assert not table.offer(make_plan(0b11, 3.0, card=2.0))
+
+    def test_iteration(self):
+        table = DPTable()
+        table.set_leaf(0b1, make_plan(0b1, 0.0))
+        table.offer(make_plan(0b11, 1.0))
+        assert list(table.classes()) == [0b1, 0b11]
+        assert len(list(table.plans())) == 2

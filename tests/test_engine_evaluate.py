@@ -1,0 +1,109 @@
+"""Tests for tree evaluation, plan reconstruction, and plan execution."""
+
+import pytest
+
+from repro.algebra.expr import Aggregate, Equals, attr
+from repro.algebra.operators import DEPENDENT_JOIN, JOIN, LEFT_OUTER, NEST, SEMI
+from repro.algebra.optree import Relation, leaf, node
+from repro.algebra.pipeline import optimize_operator_tree
+from repro.engine.evaluate import (
+    EvaluationError,
+    evaluate_plan,
+    evaluate_tree,
+    plan_to_tree,
+)
+from repro.engine.table import base_relation, rows_as_bag, table_function
+
+
+def eq(a, b, sel=0.5):
+    return Equals(attr(a), attr(b), selectivity=sel)
+
+
+@pytest.fixture
+def customers():
+    return base_relation(
+        "C", ["id", "city"],
+        [(1, "berlin"), (2, "mannheim"), (3, "berlin")],
+    )
+
+
+@pytest.fixture
+def orders():
+    return base_relation(
+        "O", ["cust", "total"],
+        [(1, 50), (1, 75), (3, 20)],
+    )
+
+
+class TestEvaluateTree:
+    def test_simple_join(self, customers, orders):
+        tree = node(JOIN, leaf(customers), leaf(orders), eq("C.id", "O.cust"))
+        rows = evaluate_tree(tree)
+        assert len(rows) == 3
+        assert {row["O.total"] for row in rows} == {50, 75, 20}
+
+    def test_left_outer_pads(self, customers, orders):
+        tree = node(LEFT_OUTER, leaf(customers), leaf(orders),
+                    eq("C.id", "O.cust"))
+        rows = evaluate_tree(tree)
+        assert len(rows) == 4
+        unmatched = [row for row in rows if row["C.id"] == 2]
+        assert unmatched[0]["O.total"] is None
+
+    def test_nest_aggregates(self, customers, orders):
+        tree = node(
+            NEST, leaf(customers), leaf(orders), eq("C.id", "O.cust"),
+            aggregates=(Aggregate("G.order_count", fn=len),),
+        )
+        rows = evaluate_tree(tree)
+        counts = {row["C.id"]: row["G.order_count"] for row in rows}
+        assert counts == {1: 2, 2: 0, 3: 1}
+
+    def test_dependent_join_with_table_function(self, customers):
+        series = table_function(
+            "F", ["n"], free_tables=["C"],
+            fn=lambda ctx: [(i,) for i in range(ctx["C.id"])],
+        )
+        from repro.algebra.expr import FunctionPredicate
+
+        always = FunctionPredicate(fn=lambda row: True,
+                                   over=frozenset({"C", "F"}))
+        tree = node(DEPENDENT_JOIN, leaf(customers), leaf(series), always)
+        rows = evaluate_tree(tree)
+        # customer ids 1,2,3 yield 1+2+3 = 6 rows
+        assert len(rows) == 6
+
+    def test_missing_rows_raise(self):
+        bare = Relation(name="X", cardinality=5.0)
+        with pytest.raises(EvaluationError):
+            evaluate_tree(leaf(bare))
+
+
+class TestPlanRoundTrip:
+    def test_plan_to_tree_rebuilds_operators(self, customers, orders):
+        tree = node(SEMI, leaf(customers), leaf(orders), eq("C.id", "O.cust"))
+        result = optimize_operator_tree(tree)
+        rebuilt = plan_to_tree(result.plan, result.compiled.analysis.relations)
+        assert rebuilt.op.base_kind == "semi"
+
+    def test_optimized_plan_same_rows(self, customers, orders):
+        tree = node(
+            JOIN,
+            node(LEFT_OUTER, leaf(customers), leaf(orders),
+                 eq("C.id", "O.cust")),
+            leaf(base_relation("N", ["city"], [("berlin",), ("paris",)])),
+            eq("C.city", "N.city"),
+        )
+        expected = rows_as_bag(evaluate_tree(tree))
+        result = optimize_operator_tree(tree)
+        got = rows_as_bag(
+            evaluate_plan(result.plan, result.compiled.analysis.relations)
+        )
+        assert expected == got
+
+    def test_plan_without_payload_rejected(self, fig2_graph):
+        from repro import optimize
+
+        result = optimize(fig2_graph, [1.0] * 6)
+        with pytest.raises(EvaluationError):
+            plan_to_tree(result.plan, [None] * 6)

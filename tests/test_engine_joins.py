@@ -1,0 +1,136 @@
+"""Tests for the reference operator semantics (Section 5.1)."""
+
+import pytest
+
+from repro.algebra.expr import Aggregate, Equals, attr
+from repro.algebra.operators import (
+    ANTI,
+    DEPENDENT_JOIN,
+    FULL_OUTER,
+    JOIN,
+    LEFT_OUTER,
+    NEST,
+    SEMI,
+)
+from repro.engine.joins import apply_operator
+
+LEFT = [
+    {"R.a": 1, "R.b": 10},
+    {"R.a": 2, "R.b": 20},
+    {"R.a": 3, "R.b": 30},
+]
+RIGHT = [
+    {"S.a": 1, "S.c": 100},
+    {"S.a": 1, "S.c": 101},
+    {"S.a": 2, "S.c": 200},
+    {"S.a": 9, "S.c": 900},
+]
+PRED = Equals(attr("R.a"), attr("S.a"))
+RIGHT_SCHEMA = ["S.a", "S.c"]
+LEFT_SCHEMA = ["R.a", "R.b"]
+
+
+def run(op, left=LEFT, right=RIGHT, predicate=PRED, aggregates=()):
+    return apply_operator(
+        op, left, lambda _ctx: list(right), predicate, aggregates,
+        right_schema=RIGHT_SCHEMA, left_schema=LEFT_SCHEMA,
+    )
+
+
+class TestInnerJoin:
+    def test_matches(self):
+        out = run(JOIN)
+        assert len(out) == 3  # (1,100),(1,101),(2,200)
+        assert {row["S.c"] for row in out} == {100, 101, 200}
+
+    def test_empty_left(self):
+        assert run(JOIN, left=[]) == []
+
+    def test_empty_right(self):
+        assert run(JOIN, right=[]) == []
+
+
+class TestLeftOuter:
+    def test_unmatched_left_padded(self):
+        out = run(LEFT_OUTER)
+        assert len(out) == 4
+        padded = [row for row in out if row["R.a"] == 3]
+        assert padded == [{"R.a": 3, "R.b": 30, "S.a": None, "S.c": None}]
+
+    def test_all_unmatched(self):
+        out = run(LEFT_OUTER, right=[])
+        assert len(out) == 3
+        assert all(row["S.a"] is None for row in out)
+
+
+class TestFullOuter:
+    def test_both_sides_padded(self):
+        out = run(FULL_OUTER)
+        # 3 matches + 1 unmatched left (a=3) + 1 unmatched right (a=9)
+        assert len(out) == 5
+        left_padded = [row for row in out if row.get("R.a") is None]
+        assert len(left_padded) == 1
+        assert left_padded[0]["S.a"] == 9
+        assert left_padded[0]["R.b"] is None
+
+    def test_empty_left_keeps_right(self):
+        out = run(FULL_OUTER, left=[])
+        assert len(out) == len(RIGHT)
+        assert all(row["R.a"] is None for row in out)
+
+
+class TestSemiAnti:
+    def test_semi_no_duplicates(self):
+        out = run(SEMI)
+        # R.a=1 matches twice but emits once
+        assert out == [{"R.a": 1, "R.b": 10}, {"R.a": 2, "R.b": 20}]
+        assert all("S.a" not in row for row in out)
+
+    def test_anti_complement(self):
+        out = run(ANTI)
+        assert out == [{"R.a": 3, "R.b": 30}]
+
+    def test_semi_plus_anti_partition_left(self):
+        semi = run(SEMI)
+        anti = run(ANTI)
+        assert len(semi) + len(anti) == len(LEFT)
+
+
+class TestNest:
+    def test_counts_and_sums(self):
+        aggregates = (
+            Aggregate("G.cnt", fn=len),
+            Aggregate("G.sum", fn=lambda rows: sum(r["S.c"] for r in rows)),
+        )
+        out = run(NEST, aggregates=aggregates)
+        assert len(out) == len(LEFT)  # one row per left tuple
+        by_a = {row["R.a"]: row for row in out}
+        assert by_a[1]["G.cnt"] == 2 and by_a[1]["G.sum"] == 201
+        assert by_a[3]["G.cnt"] == 0 and by_a[3]["G.sum"] == 0
+
+
+class TestDependent:
+    def test_right_provider_sees_left_row(self):
+        """d-join: S(r) is re-evaluated per left tuple."""
+        def provider(left_row):
+            return [{"S.a": left_row["R.a"], "S.c": left_row["R.a"] * 10}]
+
+        out = apply_operator(
+            DEPENDENT_JOIN, LEFT, provider, PRED, (),
+            right_schema=RIGHT_SCHEMA, left_schema=LEFT_SCHEMA,
+        )
+        assert len(out) == 3
+        assert all(row["S.c"] == row["R.a"] * 10 for row in out)
+
+    def test_non_dependent_provider_called_once(self):
+        calls = []
+
+        def provider(ctx):
+            calls.append(ctx)
+            return list(RIGHT)
+
+        apply_operator(
+            JOIN, LEFT, provider, PRED, (),
+            right_schema=RIGHT_SCHEMA, left_schema=LEFT_SCHEMA,
+        )
+        assert len(calls) == 1

@@ -1,0 +1,94 @@
+"""Tests for engine tables, schemas, and bag comparison."""
+
+import pytest
+
+from repro.algebra.expr import Aggregate, Equals, attr
+from repro.algebra.operators import JOIN, NEST, SEMI
+from repro.algebra.optree import leaf, node
+from repro.engine.table import (
+    base_relation,
+    make_rows,
+    rows_as_bag,
+    schemas_from_tree,
+    table_function,
+    visible_schema,
+)
+
+
+class TestMakeRows:
+    def test_qualifies_attributes(self):
+        rows = make_rows("R", ["a", "b"], [(1, 2), (3, 4)])
+        assert rows == [{"R.a": 1, "R.b": 2}, {"R.a": 3, "R.b": 4}]
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            make_rows("R", ["a"], [(1, 2)])
+
+
+class TestRelations:
+    def test_base_relation(self):
+        relation = base_relation("R", ["a"], [(1,), (2,)])
+        assert relation.cardinality == 2.0
+        assert relation.attributes == ("a",)
+        assert relation.generator({}) == [{"R.a": 1}, {"R.a": 2}]
+        assert not relation.is_table_function
+
+    def test_base_relation_rows_are_copies(self):
+        relation = base_relation("R", ["a"], [(1,)])
+        rows = relation.generator({})
+        rows.append({"R.a": 99})
+        assert len(relation.generator({})) == 1
+
+    def test_table_function(self):
+        fn = table_function(
+            "F", ["n"], free_tables=["R"],
+            fn=lambda ctx: [(ctx["R.a"] * 2,)],
+        )
+        assert fn.is_table_function
+        assert fn.generator({"R.a": 21}) == [{"F.n": 42}]
+
+
+class TestSchemas:
+    def _tree(self):
+        r = base_relation("R", ["a"], [(1,)])
+        s = base_relation("S", ["b"], [(1,)])
+        return node(SEMI, leaf(r), leaf(s), Equals(attr("R.a"), attr("S.b")))
+
+    def test_schemas_from_tree(self):
+        schemas = schemas_from_tree(self._tree())
+        assert schemas == {"R": ["a"], "S": ["b"]}
+
+    def test_visible_schema_hides_semi_right(self):
+        tree = self._tree()
+        schemas = schemas_from_tree(tree)
+        assert visible_schema(tree, schemas) == {"R.a"}
+
+    def test_visible_schema_includes_nest_aggregates(self):
+        r = base_relation("R", ["a"], [(1,)])
+        s = base_relation("S", ["b"], [(1,)])
+        tree = node(NEST, leaf(r), leaf(s), Equals(attr("R.a"), attr("S.b")),
+                    aggregates=(Aggregate("G.cnt", len),))
+        schemas = schemas_from_tree(tree)
+        assert visible_schema(tree, schemas) == {"R.a", "G.cnt"}
+
+    def test_visible_schema_join_keeps_all(self):
+        r = base_relation("R", ["a"], [(1,)])
+        s = base_relation("S", ["b"], [(1,)])
+        tree = node(JOIN, leaf(r), leaf(s), Equals(attr("R.a"), attr("S.b")))
+        schemas = schemas_from_tree(tree)
+        assert visible_schema(tree, schemas) == {"R.a", "S.b"}
+
+
+class TestRowsAsBag:
+    def test_order_insensitive(self):
+        a = [{"x": 1}, {"x": 2}]
+        b = [{"x": 2}, {"x": 1}]
+        assert rows_as_bag(a) == rows_as_bag(b)
+
+    def test_multiplicity_sensitive(self):
+        assert rows_as_bag([{"x": 1}]) != rows_as_bag([{"x": 1}, {"x": 1}])
+
+    def test_handles_nulls(self):
+        rows = [{"x": None, "y": 1}, {"x": 3, "y": None}]
+        bag = rows_as_bag(rows)
+        assert len(bag) == 2

@@ -1,0 +1,75 @@
+"""Tests for the brute-force oracles themselves."""
+
+from repro.core import bitset, exhaustive
+from repro.core.hypergraph import Hyperedge, Hypergraph
+from repro.core.plans import JoinPlanBuilder
+
+
+class TestConnectedSets:
+    def test_chain(self):
+        graph = Hypergraph(n_nodes=3)
+        graph.add_simple_edge(0, 1)
+        graph.add_simple_edge(1, 2)
+        connected = exhaustive.connected_sets(graph)
+        assert connected == {
+            0b001, 0b010, 0b100, 0b011, 0b110, 0b111,
+        }
+
+    def test_definition3_strictness(self):
+        """({a},{b,c}) alone does NOT make {a,b,c} connected: {b,c} has
+        no cross-product-free plan (see DESIGN.md)."""
+        graph = Hypergraph(n_nodes=3)
+        graph.add_edge(Hyperedge(left=0b1, right=0b110))
+        connected = exhaustive.connected_sets(graph)
+        assert 0b111 not in connected
+        assert 0b110 not in connected
+
+    def test_fig2_counts(self, fig2_graph):
+        connected = exhaustive.connected_sets(fig2_graph)
+        # two chains of 3 contribute 6 sets each (subchains), the
+        # hyperedge connects only full sides: left x right combinations
+        # {R1..R3} with {R4..R6}-side supersets: exactly 1 extra family
+        assert fig2_graph.all_nodes in connected
+        assert bitset.set_of(0, 1, 2) in connected
+        assert bitset.set_of(2, 3) not in connected
+
+
+class TestCcpOracle:
+    def test_two_relations(self):
+        graph = Hypergraph(n_nodes=2)
+        graph.add_simple_edge(0, 1)
+        assert exhaustive.csg_cmp_pairs(graph) == {(0b01, 0b10)}
+
+    def test_canonical_orientation(self, triangle_graph):
+        for s1, s2 in exhaustive.csg_cmp_pairs(triangle_graph):
+            assert bitset.min_node(s1) < bitset.min_node(s2)
+            assert s1 & s2 == 0
+
+    def test_fig2_count(self, fig2_graph):
+        # hand-countable: 2 + 2 per chain (ccps within each chain are
+        # chain-3 ccps = 4), plus bridging pairs (left-side csgs that
+        # contain {R1,R2,R3} x right-side csgs containing {R4,R5,R6})
+        # = 4 + 4 + 1 = 9
+        assert exhaustive.count_csg_cmp_pairs(fig2_graph) == 9
+
+
+class TestOptimalOracle:
+    def test_optimal_cost_matches_manual(self):
+        graph = Hypergraph(n_nodes=3)
+        graph.add_simple_edge(0, 1, selectivity=0.5)
+        graph.add_simple_edge(1, 2, selectivity=0.1)
+        builder = JoinPlanBuilder(graph, [10.0, 10.0, 10.0])
+        # C_out: join(0,1) -> 50; join(1,2) -> 10
+        # best: ((1 join 2) join 0) = 10 + 50*... = 10 + (10*10*10*0.5*0.1)=60
+        cost = exhaustive.optimal_cost(graph, builder)
+        assert cost == 10 + 10 * 10 * 10 * 0.5 * 0.1
+
+    def test_unplannable_returns_none(self):
+        graph = Hypergraph(n_nodes=2)
+        builder = JoinPlanBuilder(graph, [1.0, 1.0])
+        assert exhaustive.optimal_cost(graph, builder) is None
+
+    def test_optimal_plans_contains_all_connected_sets(self, triangle_graph):
+        builder = JoinPlanBuilder(triangle_graph, [2.0, 3.0, 4.0])
+        table = exhaustive.optimal_plans(triangle_graph, builder)
+        assert set(table) == exhaustive.connected_sets(triangle_graph)

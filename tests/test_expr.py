@@ -1,0 +1,164 @@
+"""Tests for attributes, predicates, and aggregates."""
+
+import pytest
+
+from repro.algebra.expr import (
+    Aggregate,
+    Attribute,
+    Comparison,
+    ComplexPredicate,
+    Conjunction,
+    Equals,
+    FunctionPredicate,
+    attr,
+    tables_of,
+)
+
+
+class TestAttribute:
+    def test_qualified(self):
+        attribute = Attribute("orders", "o_id")
+        assert attribute.qualified == "orders.o_id"
+        assert str(attribute) == "orders.o_id"
+
+    def test_parse(self):
+        assert attr("R.a") == Attribute("R", "a")
+        with pytest.raises(ValueError):
+            attr("no_dot")
+        with pytest.raises(ValueError):
+            attr(".a")
+
+
+class TestEquals:
+    def test_tables(self):
+        predicate = Equals(attr("R.a"), attr("S.b"))
+        assert predicate.tables == {"R", "S"}
+        assert predicate.flex_tables == frozenset()
+
+    def test_evaluation(self):
+        predicate = Equals(attr("R.a"), attr("S.b"))
+        assert predicate.evaluate({"R.a": 1, "S.b": 1})
+        assert not predicate.evaluate({"R.a": 1, "S.b": 2})
+
+    def test_null_rejecting(self):
+        """Strong predicate: NULL on either side -> not satisfied."""
+        predicate = Equals(attr("R.a"), attr("S.b"))
+        assert not predicate.evaluate({"R.a": None, "S.b": None})
+        assert not predicate.evaluate({"R.a": 1, "S.b": None})
+        assert not predicate.evaluate({"R.a": 1})  # missing = NULL
+
+    def test_str(self):
+        assert str(Equals(attr("R.a"), attr("S.b"))) == "R.a = S.b"
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("<", 1, 2, True),
+            ("<=", 2, 2, True),
+            (">", 1, 2, False),
+            (">=", 3, 2, True),
+            ("=", 2, 2, True),
+            ("!=", 2, 2, False),
+        ],
+    )
+    def test_operators(self, op, a, b, expected):
+        predicate = Comparison(attr("R.a"), op, attr("S.b"))
+        assert predicate.evaluate({"R.a": a, "S.b": b}) is expected
+
+    def test_null_rejecting(self):
+        predicate = Comparison(attr("R.a"), "<", attr("S.b"))
+        assert not predicate.evaluate({"R.a": None, "S.b": 5})
+
+    def test_invalid_op(self):
+        with pytest.raises(ValueError):
+            Comparison(attr("R.a"), "~", attr("S.b"))
+
+
+class TestConjunction:
+    def test_combines_tables_and_selectivity(self):
+        p1 = Equals(attr("R.a"), attr("S.b"), selectivity=0.5)
+        p2 = Equals(attr("S.b"), attr("T.c"), selectivity=0.2)
+        conj = Conjunction((p1, p2))
+        assert conj.tables == {"R", "S", "T"}
+        assert conj.selectivity == pytest.approx(0.1)
+
+    def test_evaluation(self):
+        p1 = Equals(attr("R.a"), attr("S.b"))
+        p2 = Equals(attr("S.b"), attr("T.c"))
+        conj = Conjunction((p1, p2))
+        assert conj.evaluate({"R.a": 1, "S.b": 1, "T.c": 1})
+        assert not conj.evaluate({"R.a": 1, "S.b": 1, "T.c": 2})
+
+    def test_conjoin_helper(self):
+        p1 = Equals(attr("R.a"), attr("S.b"))
+        assert p1.conjoin(None) is p1
+        combined = p1.conjoin(Equals(attr("S.b"), attr("T.c")))
+        assert isinstance(combined, Conjunction)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Conjunction(())
+
+
+class TestComplexPredicate:
+    def test_groups(self):
+        predicate = ComplexPredicate(
+            left_group=frozenset({"R1", "R2"}),
+            right_group=frozenset({"R4"}),
+            flex_group=frozenset({"R3"}),
+        )
+        assert predicate.tables == {"R1", "R2", "R3", "R4"}
+        assert predicate.flex_tables == {"R3"}
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            ComplexPredicate(
+                left_group=frozenset({"R1"}),
+                right_group=frozenset({"R1"}),
+            )
+
+    def test_empty_side_rejected(self):
+        with pytest.raises(ValueError):
+            ComplexPredicate(
+                left_group=frozenset(), right_group=frozenset({"R1"})
+            )
+
+    def test_evaluation_via_fn(self):
+        predicate = ComplexPredicate(
+            left_group=frozenset({"R"}),
+            right_group=frozenset({"S"}),
+            fn=lambda row: row["R.a"] + row["S.b"] == 3,
+        )
+        assert predicate.evaluate({"R.a": 1, "S.b": 2})
+        assert not predicate.evaluate({"R.a": 1, "S.b": 1})
+
+    def test_statistics_only_cannot_evaluate(self):
+        predicate = ComplexPredicate(
+            left_group=frozenset({"R"}), right_group=frozenset({"S"})
+        )
+        with pytest.raises(ValueError):
+            predicate.evaluate({})
+
+
+class TestFunctionPredicateAndAggregate:
+    def test_function_predicate(self):
+        predicate = FunctionPredicate(
+            fn=lambda row: row["R.a"] > 0, over=frozenset({"R"})
+        )
+        assert predicate.tables == {"R"}
+        assert predicate.evaluate({"R.a": 1})
+
+    def test_aggregate(self):
+        count = Aggregate(name="G.cnt", fn=len)
+        assert count.compute([{"S.a": 1}, {"S.a": 2}]) == 2
+        total = Aggregate(name="G.sum", fn=lambda rows: sum(r["S.a"] for r in rows))
+        assert total.compute([{"S.a": 1}, {"S.a": 2}]) == 3
+
+    def test_tables_of(self):
+        predicates = [
+            Equals(attr("R.a"), attr("S.b")),
+            Equals(attr("S.b"), attr("T.c")),
+        ]
+        assert tables_of(predicates) == {"R", "S", "T"}

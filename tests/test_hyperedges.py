@@ -1,0 +1,128 @@
+"""Tests for TES -> hyperedge derivation and predicate translation."""
+
+import pytest
+
+from repro.algebra.expr import Aggregate, ComplexPredicate, Equals, attr
+from repro.algebra.hyperedges import (
+    EdgeInfo,
+    compile_tree,
+    hypergraph_from_predicates,
+)
+from repro.algebra.operators import ANTI, JOIN, LEFT_OUTER, NEST, SEMI
+from repro.algebra.optree import Relation, leaf, node
+from repro.core import bitset
+
+
+def rel(name, card=10.0):
+    return leaf(Relation(name=name, cardinality=card))
+
+
+def eq(a, b, sel=0.1):
+    return Equals(attr(a), attr(b), selectivity=sel)
+
+
+class TestCompileTree:
+    def test_simple_join_chain(self):
+        tree = node(JOIN, node(JOIN, rel("R"), rel("S"), eq("R.a", "S.a")),
+                    rel("T"), eq("S.a", "T.a"))
+        compiled = compile_tree(tree)
+        assert compiled.graph.n_nodes == 3
+        assert len(compiled.graph.edges) == 2
+        assert all(edge.is_simple for edge in compiled.graph.edges)
+        assert compiled.relation_names == ["R", "S", "T"]
+        assert compiled.cardinalities == [10.0, 10.0, 10.0]
+
+    def test_payloads_carry_operators(self):
+        tree = node(SEMI, rel("R"), rel("S"), eq("R.a", "S.a"))
+        compiled = compile_tree(tree)
+        (edge,) = compiled.graph.edges
+        assert isinstance(edge.payload, EdgeInfo)
+        assert edge.payload.operator == SEMI
+        assert not edge.payload.is_inner
+
+    def test_conflict_grows_hypernode(self):
+        """(R leftouter S) join T with pST: the join's edge must demand
+        the whole outer-join result on its left (Section 5.7)."""
+        outer = node(LEFT_OUTER, rel("R"), rel("S"), eq("R.a", "S.a"))
+        tree = node(JOIN, outer, rel("T"), eq("S.a", "T.a"))
+        compiled = compile_tree(tree)
+        join_edge = compiled.graph.edges[1]
+        assert join_edge.left == compiled.analysis.bitmap({"R", "S"})
+        assert join_edge.right == compiled.analysis.bitmap({"T"})
+
+    def test_nest_edge_payload_has_aggregates(self):
+        tree = node(NEST, rel("R"), rel("S"), eq("R.a", "S.a"),
+                    aggregates=(Aggregate("G0.cnt", len),))
+        compiled = compile_tree(tree)
+        (edge,) = compiled.graph.edges
+        assert edge.payload.aggregates[0].name == "G0.cnt"
+
+    def test_dependent_operator_stored_regular(self):
+        """Section 5.6: only regular operators are attached to edges;
+        EmitCsgCmp re-derives dependency."""
+        from repro.algebra.operators import DEPENDENT_SEMI
+
+        func = leaf(Relation(name="F", cardinality=5.0,
+                             free_tables=frozenset({"R"})))
+        tree = node(DEPENDENT_SEMI, rel("R"), func, eq("R.a", "F.a"))
+        compiled = compile_tree(tree)
+        (edge,) = compiled.graph.edges
+        assert edge.payload.operator == SEMI  # regular variant
+        assert compiled.free_tables[1] == compiled.analysis.bitmap({"R"})
+
+    def test_selectivity_propagated(self):
+        tree = node(JOIN, rel("R"), rel("S"), eq("R.a", "S.a", sel=0.25))
+        compiled = compile_tree(tree)
+        assert compiled.graph.edges[0].selectivity == 0.25
+
+
+class TestPredicateTranslation:
+    """Section 6: from join predicates straight to hyperedges."""
+
+    def test_binary_predicate_simple_edge(self):
+        graph = hypergraph_from_predicates(
+            ["R", "S"], [Equals(attr("R.a"), attr("S.a"))]
+        )
+        assert graph.edges[0].is_simple
+
+    def test_nary_predicate_with_groups(self):
+        predicate = ComplexPredicate(
+            left_group=frozenset({"R1", "R2", "R3"}),
+            right_group=frozenset({"R4", "R5", "R6"}),
+        )
+        graph = hypergraph_from_predicates(
+            [f"R{i}" for i in range(1, 7)], [predicate]
+        )
+        (edge,) = graph.edges
+        assert edge.left == bitset.set_of(0, 1, 2)
+        assert edge.right == bitset.set_of(3, 4, 5)
+        assert edge.flex == 0
+
+    def test_flex_group_becomes_w_component(self):
+        """R1.a + R2.b + R3.c = R4.d: R3 may move to either side."""
+        predicate = ComplexPredicate(
+            left_group=frozenset({"R1", "R2"}),
+            right_group=frozenset({"R4"}),
+            flex_group=frozenset({"R3"}),
+        )
+        graph = hypergraph_from_predicates(["R1", "R2", "R3", "R4"], [predicate])
+        (edge,) = graph.edges
+        assert edge.flex == bitset.singleton(2)
+
+    def test_groupless_nary_predicate_split(self):
+        from repro.algebra.expr import FunctionPredicate
+
+        predicate = FunctionPredicate(
+            fn=lambda row: True, over=frozenset({"A", "B", "C", "D"})
+        )
+        graph = hypergraph_from_predicates(["A", "B", "C", "D"], [predicate])
+        (edge,) = graph.edges
+        assert bitset.count(edge.left) == 2
+        assert bitset.count(edge.right) == 2
+
+    def test_single_table_predicate_rejected(self):
+        from repro.algebra.expr import FunctionPredicate
+
+        predicate = FunctionPredicate(fn=lambda row: True, over=frozenset({"A"}))
+        with pytest.raises(ValueError):
+            hypergraph_from_predicates(["A", "B"], [predicate])

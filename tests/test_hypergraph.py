@@ -1,0 +1,149 @@
+"""Unit tests for hypergraphs and (generalized) hyperedges."""
+
+import pytest
+
+from repro.core import bitset
+from repro.core.hypergraph import Hyperedge, Hypergraph, simple_edge
+
+
+class TestHyperedge:
+    def test_simple_edge_helper(self):
+        edge = simple_edge(0, 3, selectivity=0.5)
+        assert edge.left == 0b1
+        assert edge.right == 0b1000
+        assert edge.is_simple
+        assert edge.selectivity == 0.5
+
+    def test_hyperedge_not_simple(self):
+        edge = Hyperedge(left=bitset.set_of(0, 1), right=bitset.set_of(2))
+        assert not edge.is_simple
+
+    def test_flex_makes_edge_generalized(self):
+        edge = Hyperedge(left=0b1, right=0b10, flex=0b100)
+        assert not edge.is_simple
+        assert edge.nodes == 0b111
+
+    def test_rejects_empty_side(self):
+        with pytest.raises(ValueError):
+            Hyperedge(left=0, right=0b1)
+        with pytest.raises(ValueError):
+            Hyperedge(left=0b1, right=0)
+
+    def test_rejects_overlapping_sides(self):
+        with pytest.raises(ValueError):
+            Hyperedge(left=0b11, right=0b10)
+
+    def test_rejects_flex_overlap(self):
+        with pytest.raises(ValueError):
+            Hyperedge(left=0b1, right=0b10, flex=0b10)
+
+    def test_rejects_negative_selectivity(self):
+        with pytest.raises(ValueError):
+            Hyperedge(left=0b1, right=0b10, selectivity=-0.1)
+
+    def test_connects_plain(self):
+        edge = Hyperedge(left=bitset.set_of(0, 1), right=bitset.set_of(3))
+        assert edge.connects(bitset.set_of(0, 1, 2), bitset.set_of(3, 4))
+        assert edge.connects(bitset.set_of(3, 4), bitset.set_of(0, 1, 2))
+        # u split across both sides: not connecting
+        assert not edge.connects(bitset.set_of(0, 2), bitset.set_of(1, 3))
+
+    def test_connects_generalized_definition7(self):
+        # (u={0}, v={1}, w={2}): flex node must be covered by the union
+        edge = Hyperedge(left=0b1, right=0b10, flex=0b100)
+        assert edge.connects(bitset.set_of(0), bitset.set_of(1, 2))
+        assert edge.connects(bitset.set_of(0, 2), bitset.set_of(1))
+        assert not edge.connects(bitset.set_of(0), bitset.set_of(1))
+
+    def test_spans(self):
+        edge = Hyperedge(left=0b1, right=0b10, flex=0b100)
+        assert edge.spans(0b111)
+        assert not edge.spans(0b011)
+
+    def test_render(self):
+        edge = Hyperedge(left=0b1, right=0b10, flex=0b100)
+        text = edge.render()
+        assert "R0" in text and "R1" in text and "flex" in text
+
+
+class TestHypergraphBasics:
+    def test_requires_positive_nodes(self):
+        with pytest.raises(ValueError):
+            Hypergraph(n_nodes=0)
+
+    def test_rejects_edge_outside_universe(self):
+        graph = Hypergraph(n_nodes=2)
+        with pytest.raises(ValueError):
+            graph.add_simple_edge(0, 5)
+
+    def test_node_names_length_checked(self):
+        with pytest.raises(ValueError):
+            Hypergraph(n_nodes=2, node_names=["only-one"])
+
+    def test_is_simple(self, fig2_graph, triangle_graph):
+        assert triangle_graph.is_simple
+        assert not fig2_graph.is_simple
+
+    def test_edges_within(self, fig2_graph):
+        inner = fig2_graph.edges_within(bitset.set_of(0, 1, 2))
+        assert len(inner) == 2  # the two chain edges on that side
+
+    def test_connecting_edges(self, fig2_graph):
+        edges = fig2_graph.connecting_edges(
+            bitset.set_of(0, 1, 2), bitset.set_of(3, 4, 5)
+        )
+        assert len(edges) == 1
+        assert not edges[0].is_simple
+
+    def test_has_connecting_edge_false_for_unrelated(self, fig2_graph):
+        # {R1} and {R4}: hyperedge needs the full hypernodes
+        assert not fig2_graph.has_connecting_edge(
+            bitset.singleton(0), bitset.singleton(3)
+        )
+
+
+class TestConnectivity:
+    def test_fig2_connected(self, fig2_graph):
+        assert fig2_graph.is_connected
+
+    def test_singleton_connected(self, fig2_graph):
+        assert fig2_graph.is_connected_set(bitset.singleton(2))
+
+    def test_side_connected(self, fig2_graph):
+        assert fig2_graph.is_connected_set(bitset.set_of(3, 4, 5))
+
+    def test_disconnected_subset(self, fig2_graph):
+        assert not fig2_graph.is_connected_set(bitset.set_of(0, 2))
+        assert not fig2_graph.is_connected_set(bitset.set_of(2, 3))
+
+    def test_empty_set_not_connected(self, fig2_graph):
+        assert not fig2_graph.is_connected_set(0)
+
+    def test_connected_components(self):
+        graph = Hypergraph(n_nodes=4)
+        graph.add_simple_edge(0, 1)
+        graph.add_simple_edge(2, 3)
+        components = graph.connected_components()
+        assert components == [bitset.set_of(0, 1), bitset.set_of(2, 3)]
+
+    def test_make_connected_adds_cross_edges(self):
+        graph = Hypergraph(n_nodes=4)
+        graph.add_simple_edge(0, 1)
+        graph.add_simple_edge(2, 3)
+        connected = graph.make_connected()
+        assert connected.is_connected
+        added = connected.edges[len(graph.edges):]
+        assert len(added) == 1
+        assert added[0].selectivity == 1.0  # cross product in disguise
+
+    def test_make_connected_noop_when_connected(self, fig2_graph):
+        assert fig2_graph.make_connected() is fig2_graph
+
+
+class TestRendering:
+    def test_name_of_default(self, fig2_graph):
+        assert fig2_graph.name_of(0) == "R0"
+
+    def test_render_mentions_all_edges(self, fig2_graph):
+        text = fig2_graph.render()
+        assert text.count("--") == len(fig2_graph.edges)

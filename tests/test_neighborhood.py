@@ -1,0 +1,116 @@
+"""Unit tests for neighborhood computation (Section 2.3)."""
+
+from repro.core import bitset
+from repro.core.hypergraph import Hyperedge, Hypergraph
+from repro.core.neighborhood import NeighborhoodIndex
+
+
+class TestSimpleNeighborhood:
+    def test_chain(self):
+        graph = Hypergraph(n_nodes=3)
+        graph.add_simple_edge(0, 1)
+        graph.add_simple_edge(1, 2)
+        index = NeighborhoodIndex(graph)
+        assert index.neighborhood(bitset.singleton(1), 0) == bitset.set_of(0, 2)
+        assert index.neighborhood(bitset.singleton(0), 0) == bitset.set_of(1)
+
+    def test_exclusion_set(self):
+        graph = Hypergraph(n_nodes=3)
+        graph.add_simple_edge(0, 1)
+        graph.add_simple_edge(1, 2)
+        index = NeighborhoodIndex(graph)
+        assert index.neighborhood(
+            bitset.singleton(1), bitset.singleton(0)
+        ) == bitset.set_of(2)
+
+    def test_own_nodes_never_in_neighborhood(self):
+        graph = Hypergraph(n_nodes=3)
+        graph.add_simple_edge(0, 1)
+        graph.add_simple_edge(1, 2)
+        index = NeighborhoodIndex(graph)
+        n = index.neighborhood(bitset.set_of(0, 1), 0)
+        assert n & bitset.set_of(0, 1) == 0
+
+
+class TestPaperExample:
+    """The worked example of Section 2.3 on the Fig. 2 hypergraph."""
+
+    def test_neighborhood_of_left_side(self, fig2_graph):
+        index = NeighborhoodIndex(fig2_graph)
+        s = bitset.set_of(0, 1, 2)  # paper's {R1,R2,R3}
+        # paper: N(S, X) = {R4} — only min(v) of the hyperedge target
+        assert index.neighborhood(s, s) == bitset.singleton(3)
+
+    def test_hyperedge_needs_full_anchor(self, fig2_graph):
+        index = NeighborhoodIndex(fig2_graph)
+        # {R1, R2} does not contain the full hypernode {R1,R2,R3}:
+        # only the simple edge to R3 contributes.
+        assert index.neighborhood(bitset.set_of(0, 1), 0) == bitset.singleton(2)
+
+    def test_excluded_representative_blocks_edge(self, fig2_graph):
+        index = NeighborhoodIndex(fig2_graph)
+        s = bitset.set_of(0, 1, 2)
+        x = s | bitset.singleton(3)  # exclude R4 = min of the target
+        assert index.neighborhood(s, x) == 0
+
+
+class TestSubsumption:
+    def test_candidate_subsumed_by_simple_neighbor(self):
+        # edge 0-1 simple plus hyperedge ({0},{1,2}): target {1,2} is
+        # subsumed by simple neighbor {1} and contributes nothing.
+        graph = Hypergraph(n_nodes=3)
+        graph.add_simple_edge(0, 1)
+        graph.add_edge(Hyperedge(left=0b1, right=0b110))
+        index = NeighborhoodIndex(graph)
+        assert index.neighborhood(bitset.singleton(0), 0) == bitset.singleton(1)
+
+    def test_subsumed_hypernode_dropped(self):
+        # two hyperedges from {0}: targets {1,2} and {1,2,3}; the
+        # minimal set keeps only {1,2} (E-downarrow minimization) but
+        # the representative min is node 1 either way.
+        graph = Hypergraph(n_nodes=4)
+        graph.add_edge(Hyperedge(left=0b1, right=0b0110))
+        graph.add_edge(Hyperedge(left=0b1, right=0b1110))
+        index = NeighborhoodIndex(graph)
+        assert index.neighborhood(bitset.singleton(0), 0) == bitset.singleton(1)
+
+    def test_different_representatives_union(self):
+        graph = Hypergraph(n_nodes=5)
+        graph.add_edge(Hyperedge(left=0b1, right=bitset.set_of(1, 2)))
+        graph.add_edge(Hyperedge(left=0b1, right=bitset.set_of(3, 4)))
+        index = NeighborhoodIndex(graph)
+        assert index.neighborhood(bitset.singleton(0), 0) == bitset.set_of(1, 3)
+
+
+class TestGeneralizedEdges:
+    def test_flex_travels_with_target(self):
+        # (u={0}, v={2}, w={1}): from {0}, target is {2} plus flex {1},
+        # representative is min = node 1.
+        graph = Hypergraph(n_nodes=3)
+        graph.add_edge(Hyperedge(left=0b1, right=0b100, flex=0b10))
+        index = NeighborhoodIndex(graph)
+        assert index.neighborhood(bitset.singleton(0), 0) == bitset.singleton(1)
+
+    def test_flex_inside_s_counts_as_anchor_side(self):
+        graph = Hypergraph(n_nodes=3)
+        graph.add_edge(Hyperedge(left=0b1, right=0b100, flex=0b10))
+        index = NeighborhoodIndex(graph)
+        # S = {0,1}: flex node already inside; target is just {2}
+        assert index.neighborhood(bitset.set_of(0, 1), 0) == bitset.singleton(2)
+
+    def test_excluded_flex_blocks_edge(self):
+        graph = Hypergraph(n_nodes=3)
+        graph.add_edge(Hyperedge(left=0b1, right=0b100, flex=0b10))
+        index = NeighborhoodIndex(graph)
+        # flex node 1 is excluded and outside S: edge unusable
+        assert index.neighborhood(bitset.singleton(0), bitset.singleton(1)) == 0
+
+
+class TestReachability:
+    def test_reachable_from(self, fig2_graph):
+        index = NeighborhoodIndex(fig2_graph)
+        universe = fig2_graph.all_nodes
+        assert index.reachable_from(bitset.singleton(0), universe) == universe
+        # restricted to the left chain only
+        left = bitset.set_of(0, 1, 2)
+        assert index.reachable_from(bitset.singleton(0), left) == left

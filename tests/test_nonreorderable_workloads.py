@@ -1,0 +1,88 @@
+"""Tests for the Section 5.8 workload trees."""
+
+import pytest
+
+from repro.algebra.operators import ANTI, JOIN, LEFT_OUTER
+from repro.algebra.optree import validate_tree
+from repro.algebra.pipeline import optimize_operator_tree
+from repro.engine.evaluate import evaluate_plan, evaluate_tree
+from repro.engine.table import rows_as_bag
+from repro.workloads.nonreorderable import (
+    cycle_outerjoin_tree,
+    star_antijoin_tree,
+)
+
+
+class TestStarAntijoinTree:
+    def test_structure(self):
+        tree = star_antijoin_tree(6, 2)
+        validate_tree(tree)
+        ops = [op.op for op in tree.operators()]
+        assert ops.count(ANTI) == 2
+        assert ops.count(JOIN) == 4
+        # antijoins on top (last operators)
+        assert ops[-1] == ANTI and ops[-2] == ANTI
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            star_antijoin_tree(4, 5)
+
+    def test_search_space_shrinks_with_antijoins(self):
+        ccps = [
+            optimize_operator_tree(
+                star_antijoin_tree(8, k, seed=3)
+            ).stats.ccp_emitted
+            for k in (0, 4, 8)
+        ]
+        assert ccps[0] > ccps[1] > ccps[2]
+
+    def test_executable_variant_equivalent(self):
+        tree = star_antijoin_tree(4, 2, seed=5, with_rows=True)
+        expected = rows_as_bag(evaluate_tree(tree))
+        result = optimize_operator_tree(tree)
+        got = rows_as_bag(
+            evaluate_plan(result.plan, result.compiled.analysis.relations)
+        )
+        assert expected == got
+
+
+class TestCycleOuterjoinTree:
+    def test_structure(self):
+        tree = cycle_outerjoin_tree(6, 2)
+        validate_tree(tree)
+        ops = [op.op for op in tree.operators()]
+        assert ops.count(LEFT_OUTER) == 2
+        # outer joins at the bottom (first operators)
+        assert ops[0] == LEFT_OUTER and ops[1] == LEFT_OUTER
+
+    def test_closing_predicate_present_for_inner_top(self):
+        tree = cycle_outerjoin_tree(6, 0)
+        top = list(tree.operators())[-1]
+        assert "R5" in top.predicate.tables and "R0" in top.predicate.tables
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            cycle_outerjoin_tree(2, 0)
+        with pytest.raises(ValueError):
+            cycle_outerjoin_tree(6, 6)
+
+    def test_u_shape_of_search_space(self):
+        """Fig. 8b: space shrinks first (outer joins pin against inner
+        joins), then grows again (outer joins associate freely)."""
+        sizes = {
+            k: optimize_operator_tree(
+                cycle_outerjoin_tree(10, k, seed=3)
+            ).stats.ccp_emitted
+            for k in (0, 3, 9)
+        }
+        assert sizes[3] < sizes[0]
+        assert sizes[9] > sizes[3]
+
+    def test_executable_variant_equivalent(self):
+        tree = cycle_outerjoin_tree(5, 2, seed=5, with_rows=True)
+        expected = rows_as_bag(evaluate_tree(tree))
+        result = optimize_operator_tree(tree)
+        got = rows_as_bag(
+            evaluate_plan(result.plan, result.compiled.analysis.relations)
+        )
+        assert expected == got

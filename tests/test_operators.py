@@ -1,0 +1,107 @@
+"""Tests for the operator algebra properties (Section 5.1/5.2)."""
+
+import pytest
+
+from repro.algebra.operators import (
+    ALL_OPERATORS,
+    ANTI,
+    DEPENDENT_JOIN,
+    DEPENDENT_SEMI,
+    FULL_OUTER,
+    JOIN,
+    LEFT_OUTER,
+    LOP,
+    NEST,
+    SEMI,
+    Operator,
+    operator_conflict,
+)
+
+
+class TestOperatorProperties:
+    def test_commutativity(self):
+        """Only the join and the full outer join commute (Sec. 5.4)."""
+        assert JOIN.commutative
+        assert FULL_OUTER.commutative
+        for op in (LEFT_OUTER, SEMI, ANTI, NEST, DEPENDENT_JOIN):
+            assert not op.commutative
+
+    def test_observation1_linearity(self):
+        """Observation 1: LOP operators are left-linear; join is both;
+        full outer is neither."""
+        for op in LOP:
+            assert op.left_linear
+        assert JOIN.left_linear and JOIN.right_linear
+        assert not FULL_OUTER.left_linear
+        assert not FULL_OUTER.right_linear
+        assert not LEFT_OUTER.right_linear
+
+    def test_lop_contents(self):
+        """LOP per Section 5.1: the left variants plus all dependents."""
+        assert LEFT_OUTER in LOP and SEMI in LOP and ANTI in LOP and NEST in LOP
+        assert DEPENDENT_JOIN in LOP and DEPENDENT_SEMI in LOP
+        assert JOIN not in LOP and FULL_OUTER not in LOP
+
+    def test_right_side_visibility(self):
+        assert JOIN.right_side_visible
+        assert LEFT_OUTER.right_side_visible
+        assert FULL_OUTER.right_side_visible
+        for op in (SEMI, ANTI, NEST):
+            assert not op.right_side_visible
+
+    def test_dependent_round_trip(self):
+        assert SEMI.to_dependent() == DEPENDENT_SEMI
+        assert DEPENDENT_SEMI.to_regular() == SEMI
+        assert SEMI.to_dependent().dependent
+        assert str(DEPENDENT_SEMI) == "dsemi"
+
+    def test_full_outer_has_no_dependent_variant(self):
+        with pytest.raises(ValueError):
+            FULL_OUTER.to_dependent()
+        with pytest.raises(ValueError):
+            Operator("full_outer", dependent=True)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Operator("cross_apply_magic")
+
+    def test_kind_tags(self):
+        assert JOIN.kind == "join"
+        assert DEPENDENT_JOIN.kind == "djoin"
+        assert JOIN.is_inner_join
+        assert not DEPENDENT_JOIN.is_inner_join
+
+
+class TestOperatorConflict:
+    """OC from Section 5.5 / Appendix A.3, row by row."""
+
+    def test_join_conflicts_only_with_full_outer_above(self):
+        assert operator_conflict(JOIN, FULL_OUTER)
+        for other in (JOIN, LEFT_OUTER, SEMI, ANTI, NEST):
+            assert not operator_conflict(JOIN, other)
+
+    def test_outer_outer_is_free(self):
+        """(R leftouter S) leftouter T reorders if predicates strong
+        (GOJ 4.46)."""
+        assert not operator_conflict(LEFT_OUTER, LEFT_OUTER)
+
+    def test_full_outer_free_under_outer_family(self):
+        assert not operator_conflict(FULL_OUTER, LEFT_OUTER)
+        assert not operator_conflict(FULL_OUTER, FULL_OUTER)
+        assert operator_conflict(FULL_OUTER, JOIN)
+        assert operator_conflict(FULL_OUTER, SEMI)
+
+    def test_non_join_generally_conflicts(self):
+        assert operator_conflict(SEMI, JOIN)
+        assert operator_conflict(ANTI, ANTI)
+        assert operator_conflict(LEFT_OUTER, JOIN)
+        assert operator_conflict(NEST, SEMI)
+        assert operator_conflict(LEFT_OUTER, FULL_OUTER)
+
+    def test_dependent_stands_for_base(self):
+        """'each operator also stands for its dependent counterpart'"""
+        for op1 in ALL_OPERATORS:
+            for op2 in ALL_OPERATORS:
+                assert operator_conflict(op1, op2) == operator_conflict(
+                    op1.to_regular(), op2.to_regular()
+                )

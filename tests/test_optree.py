@@ -1,0 +1,152 @@
+"""Tests for operator trees: validation, normalization, leaf order."""
+
+import pytest
+
+from repro.algebra.expr import Aggregate, Equals, attr
+from repro.algebra.operators import (
+    ANTI,
+    DEPENDENT_JOIN,
+    FULL_OUTER,
+    JOIN,
+    LEFT_OUTER,
+    NEST,
+    SEMI,
+)
+from repro.algebra.optree import (
+    LeafNode,
+    OpNode,
+    Relation,
+    available_attribute_tables,
+    leaf,
+    leaf_order,
+    node,
+    normalize_commutative_children,
+    render_tree,
+    unresolved_free_tables,
+    validate_tree,
+)
+
+
+def rel(name, **kwargs):
+    return leaf(Relation(name=name, cardinality=10.0, **kwargs))
+
+
+def eq(a, b):
+    return Equals(attr(a), attr(b))
+
+
+class TestStructure:
+    def test_tables_and_leaves(self):
+        tree = node(JOIN, rel("R"), node(JOIN, rel("S"), rel("T"), eq("S.a", "T.a")),
+                    eq("R.a", "S.a"))
+        assert tree.tables() == {"R", "S", "T"}
+        assert [l.relation.name for l in tree.leaves()] == ["R", "S", "T"]
+
+    def test_operators_postorder(self):
+        inner = node(JOIN, rel("S"), rel("T"), eq("S.a", "T.a"))
+        tree = node(SEMI, rel("R"), inner, eq("R.a", "S.a"))
+        ops = list(tree.operators())
+        assert ops[0] is inner  # descendants first
+        assert ops[-1] is tree
+
+    def test_nest_requires_aggregates(self):
+        with pytest.raises(ValueError):
+            node(NEST, rel("R"), rel("S"), eq("R.a", "S.a"))
+        with pytest.raises(ValueError):
+            node(JOIN, rel("R"), rel("S"), eq("R.a", "S.a"),
+                 aggregates=(Aggregate("G.c", len),))
+
+    def test_group_name(self):
+        tree = node(NEST, rel("R"), rel("S"), eq("R.a", "S.a"),
+                    aggregates=(Aggregate("G0.cnt", len),))
+        assert tree.group_name == "G0"
+
+    def test_render(self):
+        tree = node(ANTI, rel("R"), rel("S"), eq("R.a", "S.a"))
+        assert render_tree(tree) == "(R anti S)"
+
+
+class TestVisibility:
+    def test_semi_hides_right(self):
+        tree = node(SEMI, rel("R"), rel("S"), eq("R.a", "S.a"))
+        assert available_attribute_tables(tree) == {"R"}
+
+    def test_outer_keeps_both(self):
+        tree = node(LEFT_OUTER, rel("R"), rel("S"), eq("R.a", "S.a"))
+        assert available_attribute_tables(tree) == {"R", "S"}
+
+    def test_nest_publishes_group(self):
+        tree = node(NEST, rel("R"), rel("S"), eq("R.a", "S.a"),
+                    aggregates=(Aggregate("G0.cnt", len),))
+        assert available_attribute_tables(tree) == {"R", "G0"}
+
+
+class TestValidation:
+    def test_valid_tree_passes(self):
+        tree = node(JOIN, rel("R"), rel("S"), eq("R.a", "S.a"))
+        validate_tree(tree)
+
+    def test_duplicate_names_rejected(self):
+        tree = node(JOIN, rel("R"), rel("R"), eq("R.a", "R.b"))
+        with pytest.raises(ValueError, match="duplicate"):
+            validate_tree(tree)
+
+    def test_predicate_on_hidden_side_rejected(self):
+        semi = node(SEMI, rel("R"), rel("S"), eq("R.a", "S.a"))
+        tree = node(JOIN, semi, rel("T"), eq("S.a", "T.a"))  # S hidden!
+        with pytest.raises(ValueError, match="not visible"):
+            validate_tree(tree)
+
+    def test_unresolved_free_tables_rejected(self):
+        func = rel("F", free_tables=frozenset({"R"}))
+        tree = node(JOIN, rel("R"), func, eq("R.a", "F.a"))  # not dependent
+        with pytest.raises(ValueError, match="never resolved"):
+            validate_tree(tree)
+
+    def test_dependent_join_resolves_frees(self):
+        func = rel("F", free_tables=frozenset({"R"}))
+        tree = node(DEPENDENT_JOIN, rel("R"), func, eq("R.a", "F.a"))
+        validate_tree(tree)
+        assert unresolved_free_tables(tree) == frozenset()
+
+    def test_function_left_of_provider_rejected(self):
+        func = rel("F", free_tables=frozenset({"R"}))
+        tree = node(DEPENDENT_JOIN, func, rel("R"), eq("R.a", "F.a"))
+        with pytest.raises(ValueError):
+            validate_tree(tree)
+
+    def test_unknown_provider_rejected(self):
+        func = rel("F", free_tables=frozenset({"Z"}))
+        tree = node(DEPENDENT_JOIN, rel("R"), func, eq("R.a", "F.a"))
+        with pytest.raises(ValueError):
+            validate_tree(tree)
+
+
+class TestNormalization:
+    def test_swaps_commutative_child_when_predicate_left_only(self):
+        child = node(JOIN, rel("A"), rel("B"), eq("A.x", "B.x"))
+        tree = node(SEMI, child, rel("T"), eq("A.x", "T.x"))
+        normalized = normalize_commutative_children(tree)
+        # predicate touches A only -> A must move to the child's right
+        assert isinstance(normalized, OpNode)
+        assert normalized.left.right.tables() == {"A"}
+        # original is untouched
+        assert child.left.tables() == {"A"}
+
+    def test_no_swap_when_predicate_touches_right(self):
+        child = node(JOIN, rel("A"), rel("B"), eq("A.x", "B.x"))
+        tree = node(SEMI, child, rel("T"), eq("B.x", "T.x"))
+        normalized = normalize_commutative_children(tree)
+        assert normalized.left.right.tables() == {"B"}
+
+    def test_non_commutative_child_never_swapped(self):
+        child = node(LEFT_OUTER, rel("A"), rel("B"), eq("A.x", "B.x"))
+        tree = node(SEMI, child, rel("T"), eq("A.x", "T.x"))
+        normalized = normalize_commutative_children(tree)
+        assert normalized.left.left.tables() == {"A"}
+
+    def test_leaf_order_reflects_normalization(self):
+        child = node(JOIN, rel("A"), rel("B"), eq("A.x", "B.x"))
+        tree = node(SEMI, child, rel("T"), eq("A.x", "T.x"))
+        normalized = normalize_commutative_children(tree)
+        assert [r.name for r in leaf_order(normalized)] == ["B", "A", "T"]

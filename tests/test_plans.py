@@ -1,0 +1,138 @@
+"""Tests for plan trees and the inner-join plan builder."""
+
+import pytest
+
+from repro.core import bitset
+from repro.core.hypergraph import Hyperedge, Hypergraph
+from repro.core.plans import JoinPlanBuilder, Plan, better_plan
+from repro.core.stats import SearchStats
+from repro.cost.models import HashJoinModel
+
+
+@pytest.fixture
+def two_rel_graph():
+    graph = Hypergraph(n_nodes=2)
+    graph.add_simple_edge(0, 1, selectivity=0.5)
+    return graph
+
+
+class TestPlanStructure:
+    def test_leaf_properties(self, two_rel_graph):
+        builder = JoinPlanBuilder(two_rel_graph, [4.0, 8.0])
+        leaf = builder.leaf(1)
+        assert leaf.is_leaf
+        assert leaf.nodes == 0b10
+        assert leaf.cardinality == 8.0
+        assert leaf.cost == 0.0  # C_out leaves are free
+        assert leaf.depth() == 0
+        assert leaf.count_joins() == 0
+
+    def test_join_builds_tree(self, two_rel_graph):
+        builder = JoinPlanBuilder(two_rel_graph, [4.0, 8.0])
+        left, right = builder.leaf(0), builder.leaf(1)
+        (plan,) = builder.join_ordered(left, right, two_rel_graph.edges)
+        assert plan.nodes == 0b11
+        assert plan.cardinality == pytest.approx(4 * 8 * 0.5)
+        assert plan.left is left and plan.right is right
+        assert plan.depth() == 1
+        assert plan.count_joins() == 1
+        assert list(plan.leaves()) == [left, right]
+
+    def test_join_order_rendering(self, two_rel_graph):
+        builder = JoinPlanBuilder(two_rel_graph, [4.0, 8.0])
+        (plan,) = builder.join_ordered(
+            builder.leaf(0), builder.leaf(1), two_rel_graph.edges
+        )
+        assert plan.join_order() == (0, 1)
+        assert plan.render() == "(R0 join R1)"
+        assert plan.render(["a", "b"]) == "(a join b)"
+
+    def test_unordered_builds_both_directions(self, two_rel_graph):
+        builder = JoinPlanBuilder(two_rel_graph, [4.0, 8.0])
+        plans = builder.join_unordered(
+            builder.leaf(0), builder.leaf(1), two_rel_graph.edges
+        )
+        assert len(plans) == 2
+        assert {plan.join_order() for plan in plans} == {(0, 1), (1, 0)}
+
+
+class TestCardinalityAccounting:
+    def test_non_connecting_spanned_edge_applied_once(self):
+        """An edge that becomes contained without cleanly splitting the
+        pair must still contribute its selectivity exactly once."""
+        graph = Hypergraph(n_nodes=3)
+        graph.add_simple_edge(0, 1, selectivity=0.5)
+        graph.add_simple_edge(1, 2, selectivity=0.5)
+        graph.add_edge(
+            Hyperedge(left=bitset.set_of(0, 1), right=bitset.set_of(2),
+                      selectivity=0.1)
+        )
+        builder = JoinPlanBuilder(graph, [10.0, 10.0, 10.0])
+        p01 = builder.join_ordered(
+            builder.leaf(0), builder.leaf(1), [graph.edges[0]]
+        )[0]
+        (full,) = builder.join_ordered(p01, builder.leaf(2), graph.edges[1:])
+        # all three selectivities applied exactly once
+        assert full.cardinality == pytest.approx(1000 * 0.5 * 0.5 * 0.1)
+
+    def test_order_invariance(self):
+        graph = Hypergraph(n_nodes=3)
+        graph.add_simple_edge(0, 1, selectivity=0.2)
+        graph.add_simple_edge(1, 2, selectivity=0.3)
+        graph.add_simple_edge(0, 2, selectivity=0.4)
+        builder = JoinPlanBuilder(graph, [10.0, 20.0, 30.0])
+        leaves = [builder.leaf(i) for i in range(3)]
+        via01 = builder.join_ordered(leaves[0], leaves[1], [graph.edges[0]])[0]
+        via12 = builder.join_ordered(leaves[1], leaves[2], [graph.edges[1]])[0]
+        full_a = builder.join_ordered(via01, leaves[2], graph.edges[1:])[0]
+        full_b = builder.join_ordered(leaves[0], via12, graph.edges[:1])[0]
+        assert full_a.cardinality == pytest.approx(full_b.cardinality)
+
+    def test_stats_count_cost_calls(self, two_rel_graph):
+        stats = SearchStats()
+        builder = JoinPlanBuilder(two_rel_graph, [4.0, 8.0], stats=stats)
+        builder.join_unordered(
+            builder.leaf(0), builder.leaf(1), two_rel_graph.edges
+        )
+        assert stats.cost_calls == 2
+
+
+class TestAsymmetricCostModels:
+    def test_hash_join_prefers_small_build_side(self, two_rel_graph):
+        builder = JoinPlanBuilder(
+            two_rel_graph, [4.0, 800.0], cost_model=HashJoinModel()
+        )
+        small_first, big_first = (
+            builder.join_ordered(builder.leaf(0), builder.leaf(1),
+                                 two_rel_graph.edges)[0],
+            builder.join_ordered(builder.leaf(1), builder.leaf(0),
+                                 two_rel_graph.edges)[0],
+        )
+        assert small_first.cost < big_first.cost
+
+
+class TestBetterPlan:
+    def _plan(self, cost, card=1.0):
+        return Plan(
+            nodes=0b1, left=None, right=None, operator=None, edges=(),
+            cardinality=card, cost=cost,
+        )
+
+    def test_none_replaced(self):
+        plan = self._plan(5.0)
+        assert better_plan(None, plan) is plan
+
+    def test_cheaper_wins(self):
+        a, b = self._plan(5.0), self._plan(3.0)
+        assert better_plan(a, b) is b
+        assert better_plan(b, a) is b
+
+    def test_tie_broken_by_cardinality(self):
+        fat = self._plan(5.0, card=10.0)
+        slim = self._plan(5.0, card=2.0)
+        assert better_plan(fat, slim) is slim
+        assert better_plan(slim, fat) is slim
+
+    def test_builder_validates_cardinalities(self, two_rel_graph):
+        with pytest.raises(ValueError):
+            JoinPlanBuilder(two_rel_graph, [1.0])

@@ -1,0 +1,77 @@
+"""Property-based tests for the bitset primitives (hypothesis)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import bitset
+
+node_sets = st.integers(min_value=0, max_value=2 ** 20 - 1)
+nonempty_sets = st.integers(min_value=1, max_value=2 ** 20 - 1)
+small_sets = st.integers(min_value=1, max_value=2 ** 12 - 1)
+
+
+class TestSetAlgebra:
+    @given(s=node_sets)
+    def test_iter_round_trip(self, s):
+        assert bitset.from_iterable(bitset.iter_nodes(s)) == s
+
+    @given(s=node_sets)
+    def test_count_matches_iteration(self, s):
+        assert bitset.count(s) == len(list(bitset.iter_nodes(s)))
+
+    @given(s=nonempty_sets)
+    def test_min_consistency(self, s):
+        assert bitset.min_bit(s) == bitset.singleton(bitset.min_node(s))
+        assert bitset.min_node(s) == min(bitset.iter_nodes(s))
+        assert bitset.max_node(s) == max(bitset.iter_nodes(s))
+
+    @given(s=nonempty_sets)
+    def test_without_min(self, s):
+        assert bitset.without_min(s) == s & ~bitset.min_bit(s)
+
+    @given(a=node_sets, b=node_sets)
+    def test_subset_definition(self, a, b):
+        assert bitset.is_subset(a, b) == set(bitset.iter_nodes(a)).issubset(
+            bitset.iter_nodes(b)
+        )
+
+    @given(a=node_sets, b=node_sets)
+    def test_disjoint_definition(self, a, b):
+        assert bitset.is_disjoint(a, b) == (
+            not set(bitset.iter_nodes(a)) & set(bitset.iter_nodes(b))
+        )
+
+
+class TestSubsetEnumeration:
+    @given(s=small_sets)
+    def test_complete_and_unique(self, s):
+        subs = list(bitset.subsets(s))
+        assert len(subs) == 2 ** bitset.count(s) - 1
+        assert len(set(subs)) == len(subs)
+        assert all(bitset.is_subset(sub, s) and sub for sub in subs)
+
+    @given(s=small_sets)
+    def test_increasing_order(self, s):
+        subs = list(bitset.subsets(s))
+        assert subs == sorted(subs)
+
+    @given(s=small_sets)
+    def test_descending_matches_ascending(self, s):
+        assert sorted(bitset.subsets_descending(s)) == list(bitset.subsets(s))
+
+    @given(s=small_sets)
+    def test_proper_excludes_self(self, s):
+        assert set(bitset.proper_subsets(s)) == set(bitset.subsets(s)) - {s}
+
+
+class TestOrderedIteration:
+    @given(s=node_sets)
+    def test_descending_is_reverse_of_ascending(self, s):
+        assert list(bitset.iter_nodes_descending(s)) == list(
+            reversed(list(bitset.iter_nodes(s)))
+        )
+
+    @given(v=st.integers(min_value=0, max_value=30))
+    def test_below(self, v):
+        assert bitset.below(v) == bitset.from_iterable(range(v + 1))
+        assert bitset.strictly_below(v) == bitset.from_iterable(range(v))

@@ -1,0 +1,132 @@
+"""Tests for SES computation and the CalcTES conflict analysis."""
+
+import pytest
+
+from repro.algebra.expr import Aggregate, Equals, FunctionPredicate, attr
+from repro.algebra.operators import ANTI, FULL_OUTER, JOIN, LEFT_OUTER, NEST, SEMI
+from repro.algebra.optree import Relation, leaf, node
+from repro.algebra.ses import ses_tables
+from repro.algebra.tes import analyze
+from repro.core import bitset
+
+
+def rel(name):
+    return leaf(Relation(name=name, cardinality=10.0))
+
+
+def eq(a, b, sel=0.1):
+    return Equals(attr(a), attr(b), selectivity=sel)
+
+
+def info_for(analysis, op_node):
+    for info in analysis.operators:
+        if info.node is op_node:
+            return info
+    raise AssertionError("operator not analyzed")
+
+
+class TestSES:
+    def test_plain_predicate(self):
+        tree = node(JOIN, rel("R"), rel("S"), eq("R.a", "S.a"))
+        assert ses_tables(tree) == {"R", "S"}
+
+    def test_intersected_with_subtree(self):
+        """Tables outside T(o) — e.g. aggregate pseudo-relations — are
+        dropped from SES; the dedicated CalcTES rules handle them."""
+        inner = node(NEST, rel("R"), rel("S"), eq("R.a", "S.a"),
+                     aggregates=(Aggregate("G0.cnt", len),))
+        top = node(JOIN, inner, rel("T"),
+                   FunctionPredicate(fn=lambda row: True,
+                                     over=frozenset({"G0", "T"})))
+        assert ses_tables(top) == {"T"}
+
+    def test_nestjoin_includes_aggregate_tables(self):
+        aggregates = (
+            Aggregate("G0.total",
+                      fn=lambda rows: sum(r.get("S.b", 0) for r in rows),
+                      tables=frozenset({"S"})),
+        )
+        tree = node(NEST, rel("R"), rel("S"), eq("R.a", "S.a"), aggregates)
+        assert ses_tables(tree) == {"R", "S"}
+
+
+class TestAnalyze:
+    def test_leaf_only_tree(self):
+        analysis = analyze(rel("R"))
+        assert analysis.n_relations == 1
+        assert analysis.operators == []
+
+    def test_indices_left_to_right(self):
+        tree = node(JOIN, node(JOIN, rel("B"), rel("A"), eq("B.x", "A.x")),
+                    rel("C"), eq("A.x", "C.x"))
+        analysis = analyze(tree)
+        assert analysis.index_of == {"B": 0, "A": 1, "C": 2}
+
+    def test_tes_starts_as_ses(self):
+        tree = node(JOIN, node(JOIN, rel("R"), rel("S"), eq("R.a", "S.a")),
+                    rel("T"), eq("S.a", "T.a"))
+        analysis = analyze(tree)
+        top = info_for(analysis, tree)
+        # join-join: no conflicts, TES stays SES = {S, T}
+        assert top.tes == top.ses == analysis.bitmap({"S", "T"})
+        assert top.conflict_tables == 0
+
+
+class TestConflicts:
+    def test_outer_under_join_pins(self):
+        """(R leftouter S) join_pST T: conjoining into/through the outer
+        join is a conflict (Fig. 9 row 5) — TES of the join absorbs the
+        outer join's TES."""
+        outer = node(LEFT_OUTER, rel("R"), rel("S"), eq("R.a", "S.a"))
+        tree = node(JOIN, outer, rel("T"), eq("S.a", "T.a"))
+        analysis = analyze(tree)
+        top = info_for(analysis, tree)
+        assert top.tes == analysis.bitmap({"R", "S", "T"})
+        assert top.conflict_tables == analysis.bitmap({"R", "S"})
+
+    def test_join_under_outer_free(self):
+        """(R join S) leftouter T reorders freely: OC(join, outer) is
+        false."""
+        inner = node(JOIN, rel("R"), rel("S"), eq("R.a", "S.a"))
+        tree = node(LEFT_OUTER, inner, rel("T"), eq("S.a", "T.a"))
+        analysis = analyze(tree)
+        top = info_for(analysis, tree)
+        assert top.tes == analysis.bitmap({"S", "T"})
+
+    def test_join_under_full_outer_conflicts(self):
+        inner = node(JOIN, rel("R"), rel("S"), eq("R.a", "S.a"))
+        tree = node(FULL_OUTER, inner, rel("T"), eq("S.a", "T.a"))
+        analysis = analyze(tree)
+        top = info_for(analysis, tree)
+        assert top.tes == analysis.bitmap({"R", "S", "T"})
+
+    def test_anti_chain_accumulates(self):
+        """anti below anti conflicts (OC true): TESs chain, which is
+        what collapses the Fig. 8a search space to O(n)."""
+        tree = node(ANTI, node(ANTI, rel("R"), rel("S"), eq("R.a", "S.a")),
+                    rel("T"), eq("R.a", "T.a"))
+        analysis = analyze(tree)
+        top = info_for(analysis, tree)
+        assert top.tes == analysis.bitmap({"R", "S", "T"})
+
+    def test_commuted_orientation_detected(self):
+        """Regression for the fuzz-found bug: with the outer join on
+        the *right* side of a commutative join, the conflict must still
+        be found (commutation closure)."""
+        outer = node(LEFT_OUTER, rel("R"), rel("S"), eq("R.a", "S.a"))
+        tree = node(JOIN, rel("T"), outer, eq("S.a", "T.a"))
+        analysis = analyze(tree)
+        top = info_for(analysis, tree)
+        assert analysis.bitmap({"R"}) & top.tes  # R pinned
+
+    def test_nestjoin_aggregate_reference_pins(self):
+        """An ancestor predicate referencing a published aggregate
+        cannot be pushed below the nestjoin."""
+        nest = node(NEST, rel("R"), rel("S"), eq("R.a", "S.a"),
+                    aggregates=(Aggregate("G0.cnt", len),))
+        top = node(JOIN, nest, rel("T"),
+                   FunctionPredicate(fn=lambda row: True,
+                                     over=frozenset({"G0", "T"})))
+        analysis = analyze(top)
+        top_info = info_for(analysis, top)
+        assert top_info.tes == analysis.bitmap({"R", "S", "T"})

@@ -1,0 +1,100 @@
+"""Tests for outer-join simplification — engine-verified."""
+
+import pytest
+
+from repro.algebra.expr import Equals, attr
+from repro.algebra.operators import FULL_OUTER, JOIN, LEFT_OUTER, SEMI
+from repro.algebra.optree import leaf, node, render_tree
+from repro.algebra.pipeline import optimize_operator_tree
+from repro.algebra.simplify import count_outer_joins, simplify_outer_joins
+from repro.engine.evaluate import evaluate_tree
+from repro.engine.table import base_relation, rows_as_bag
+
+
+def rel(name, rows):
+    return leaf(base_relation(name, ["a"], [(value,) for value in rows]))
+
+
+def eq(a, b):
+    return Equals(attr(a), attr(b), selectivity=0.3)
+
+
+class TestRewrites:
+    def test_left_outer_demoted_under_rejecting_join(self):
+        inner = node(LEFT_OUTER, rel("R", [1, 2]), rel("S", [1]),
+                     eq("R.a", "S.a"))
+        tree = node(JOIN, inner, rel("T", [1]), eq("S.a", "T.a"))
+        simplified = simplify_outer_joins(tree)
+        assert count_outer_joins(tree) == 1
+        assert count_outer_joins(simplified) == 0
+
+    def test_left_outer_kept_when_not_rejected(self):
+        inner = node(LEFT_OUTER, rel("R", [1, 2]), rel("S", [1]),
+                     eq("R.a", "S.a"))
+        tree = node(JOIN, inner, rel("T", [1]), eq("R.a", "T.a"))  # rejects R
+        simplified = simplify_outer_joins(tree)
+        assert count_outer_joins(simplified) == 1
+
+    def test_full_outer_to_left_outer(self):
+        inner = node(FULL_OUTER, rel("R", [1, 2]), rel("S", [1]),
+                     eq("R.a", "S.a"))
+        tree = node(JOIN, inner, rel("T", [1]), eq("S.a", "T.a"))
+        simplified = simplify_outer_joins(tree)
+        ops = [op.op for op in simplified.operators()]
+        # S-side padding dies -> fullouter becomes... S is the right
+        # input, so padding of S dies: left outer remains
+        assert LEFT_OUTER in ops
+        assert FULL_OUTER not in ops
+
+    def test_full_outer_to_join_when_both_rejected(self):
+        from repro.algebra.expr import Conjunction
+
+        inner = node(FULL_OUTER, rel("R", [1, 2]), rel("S", [1]),
+                     eq("R.a", "S.a"))
+        both = Conjunction((eq("R.a", "T.a"), eq("S.a", "T.a")))
+        tree = node(JOIN, inner, rel("T", [1]), both)
+        simplified = simplify_outer_joins(tree)
+        ops = [op.op for op in simplified.operators()]
+        assert all(op == JOIN for op in ops)
+
+    def test_own_predicate_does_not_simplify_itself(self):
+        tree = node(LEFT_OUTER, rel("R", [1, 2]), rel("S", [1]),
+                    eq("R.a", "S.a"))
+        assert count_outer_joins(simplify_outer_joins(tree)) == 1
+
+    def test_semi_join_predicate_rejects_below(self):
+        inner = node(LEFT_OUTER, rel("R", [1, 2]), rel("S", [1]),
+                     eq("R.a", "S.a"))
+        tree = node(SEMI, inner, rel("T", [1]), eq("S.a", "T.a"))
+        assert count_outer_joins(simplify_outer_joins(tree)) == 0
+
+    def test_input_not_modified(self):
+        inner = node(LEFT_OUTER, rel("R", [1]), rel("S", [1]),
+                     eq("R.a", "S.a"))
+        tree = node(JOIN, inner, rel("T", [1]), eq("S.a", "T.a"))
+        simplify_outer_joins(tree)
+        assert count_outer_joins(tree) == 1
+
+
+class TestSemanticsPreserved:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_trees_equivalent_after_simplification(self, seed):
+        from repro.workloads.random_trees import random_operator_tree
+
+        tree = random_operator_tree(4, seed)
+        simplified = simplify_outer_joins(tree)
+        assert rows_as_bag(evaluate_tree(tree)) == rows_as_bag(
+            evaluate_tree(simplified)
+        ), render_tree(simplified)
+
+    def test_simplified_tree_optimizes_to_larger_space(self):
+        """Demoting outer joins can only enlarge the reorderable space
+        (inner joins are freely reorderable)."""
+        inner = node(LEFT_OUTER, rel("R", [1, 2]), rel("S", [1]),
+                     eq("R.a", "S.a"))
+        tree = node(JOIN, inner, rel("T", [1]), eq("S.a", "T.a"))
+        before = optimize_operator_tree(tree).stats.ccp_emitted
+        after = optimize_operator_tree(
+            simplify_outer_joins(tree)
+        ).stats.ccp_emitted
+        assert after >= before

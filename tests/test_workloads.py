@@ -1,0 +1,167 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.core import bitset
+from repro.core.hypergraph import Hyperedge
+from repro.workloads import (
+    SHAPES,
+    chain,
+    clique,
+    cycle,
+    cycle_hypergraph,
+    grid,
+    max_splits,
+    random_hypergraph_query,
+    random_simple_query,
+    split_schedule,
+    star,
+    star_hypergraph,
+)
+
+
+class TestClassicShapes:
+    def test_chain(self):
+        query = chain(5)
+        assert query.n_relations == 5
+        assert len(query.graph.edges) == 4
+        assert query.graph.is_connected
+
+    def test_cycle(self):
+        query = cycle(5)
+        assert len(query.graph.edges) == 5
+        assert query.graph.is_connected
+
+    def test_star_hub_is_node_zero(self):
+        query = star(4)
+        assert query.n_relations == 5
+        for edge in query.graph.edges:
+            assert edge.left == bitset.singleton(0) or edge.right == (
+                bitset.singleton(0)
+            )
+
+    def test_clique_edge_count(self):
+        query = clique(5)
+        assert len(query.graph.edges) == 10
+
+    def test_grid(self):
+        query = grid(2, 3)
+        assert query.n_relations == 6
+        assert len(query.graph.edges) == 2 * 2 + 3  # horizontal + vertical
+        assert query.graph.is_connected
+
+    def test_fixed_cardinalities(self):
+        query = chain(3, cardinalities=[1, 2, 3])
+        assert query.cardinalities == [1.0, 2.0, 3.0]
+        with pytest.raises(ValueError):
+            chain(3, cardinalities=[1])
+
+    def test_deterministic_by_seed(self):
+        a, b = chain(5, seed=9), chain(5, seed=9)
+        assert a.cardinalities == b.cardinalities
+
+    def test_shape_registry(self):
+        assert set(SHAPES) == {"chain", "cycle", "star", "clique"}
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            cycle(2)
+        with pytest.raises(ValueError):
+            star(0)
+        with pytest.raises(ValueError):
+            clique(1)
+        with pytest.raises(ValueError):
+            grid(0, 2)
+
+
+class TestSplitSchedule:
+    """The paper's exact derivation G0 -> G3 for the 8-cycle."""
+
+    def make_initial(self):
+        return Hyperedge(
+            left=bitset.from_iterable(range(4)),
+            right=bitset.from_iterable(range(4, 8)),
+        )
+
+    def test_g0(self):
+        edges = split_schedule(self.make_initial(), 0)
+        assert len(edges) == 1
+
+    def test_g1_crossed_halves(self):
+        edges = split_schedule(self.make_initial(), 1)
+        assert len(edges) == 2
+        sides = {(e.left, e.right) for e in edges}
+        # paper: ({R0,R1},{R6,R7}) and ({R2,R3},{R4,R5})
+        assert (bitset.set_of(0, 1), bitset.set_of(6, 7)) in sides
+        assert (bitset.set_of(2, 3), bitset.set_of(4, 5)) in sides
+
+    def test_g2_splits_first_edge_aligned(self):
+        edges = split_schedule(self.make_initial(), 2)
+        assert len(edges) == 3
+        sides = {(e.left, e.right) for e in edges}
+        # paper: ({R0},{R6}) and ({R1},{R7})
+        assert (bitset.singleton(0), bitset.singleton(6)) in sides
+        assert (bitset.singleton(1), bitset.singleton(7)) in sides
+
+    def test_g3_all_simple(self):
+        edges = split_schedule(self.make_initial(), 3)
+        assert len(edges) == 4
+        assert all(edge.is_simple for edge in edges)
+
+    def test_extra_splits_are_noops(self):
+        assert len(split_schedule(self.make_initial(), 10)) == 4
+
+    def test_max_splits(self):
+        assert max_splits(4) == 3  # 8-cycle: splits 0..3 (paper)
+        assert max_splits(8) == 7  # 16-cycle: splits 0..7 (paper)
+        assert max_splits(2) == 1  # 4-cycle: splits 0..1 (paper)
+        assert max_splits(1) == 0
+
+
+class TestHypergraphFamilies:
+    @pytest.mark.parametrize("splits", range(4))
+    def test_cycle_hypergraph(self, splits):
+        query = cycle_hypergraph(8, splits)
+        assert query.graph.is_connected
+        assert len(query.graph.edges) == 8 + 1 + splits
+        assert query.meta["splits"] == splits
+
+    @pytest.mark.parametrize("splits", range(4))
+    def test_star_hypergraph(self, splits):
+        query = star_hypergraph(8, splits)
+        assert query.n_relations == 9
+        assert query.graph.is_connected
+        assert len(query.graph.edges) == 8 + 1 + splits
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cycle_hypergraph(7, 0)  # odd
+        with pytest.raises(ValueError):
+            cycle_hypergraph(8, 9)  # too many splits
+        with pytest.raises(ValueError):
+            star_hypergraph(3, 0)  # odd satellites
+
+
+class TestRandomQueries:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_simple_graphs_connected(self, seed):
+        query = random_simple_query(8, seed)
+        assert query.graph.is_simple
+        assert query.graph.is_connected
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_hypergraphs_connected_and_plannable(self, seed):
+        from repro import optimize
+
+        query = random_hypergraph_query(
+            6, seed, n_hyperedges=3, n_islands=2, flex_probability=0.3
+        )
+        assert query.graph.is_connected
+        result = optimize(query.graph, query.cardinalities)
+        assert result.plan is not None
+
+    def test_reproducible(self):
+        a = random_hypergraph_query(6, 42)
+        b = random_hypergraph_query(6, 42)
+        assert a.cardinalities == b.cardinalities
+        assert len(a.graph.edges) == len(b.graph.edges)
