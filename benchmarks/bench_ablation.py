@@ -1,6 +1,6 @@
 """Ablation: DPhyp design choices.
 
-Two knobs DESIGN.md calls out:
+Four knobs measured here:
 
 1. **Neighborhood subsumption minimization** (the ``E↓`` step of
    Sec. 2.3).  Correctness never depends on it — representatives still
@@ -13,20 +13,37 @@ Two knobs DESIGN.md calls out:
 2. **Cost model** — C_out vs. asymmetric hash-join costing: the same
    enumeration, different plan pricing; quantifies that enumeration,
    not costing, dominates optimization time.
+
+3. **Neighborhood memoization** — the per-subgraph
+   ``simple_neighborhood`` cache of
+   :class:`repro.core.neighborhood.NeighborhoodIndex`; again purely
+   work-saving, never correctness-bearing.
+
+4. **Iterative vs. recursive traversal** — the explicit-stack hot path
+   against the seed-faithful recursion preserved in
+   :mod:`repro.core.dphyp_recursive`.
 """
 
 import pytest
 
 from repro.core.dphyp import DPhyp
+from repro.core.dphyp_recursive import DPhypRecursive
 from repro.core.plans import JoinPlanBuilder
 from repro.cost.models import CoutModel, HashJoinModel, MinOfModel
+from repro.workloads import star
 from repro.workloads.hyper import star_hypergraph
 from repro.workloads.random_queries import random_hypergraph_query
 
 
-def run_dphyp(graph, cardinalities, minimize, cost_model=None):
+def run_dphyp(graph, cardinalities, minimize, cost_model=None,
+              memoize=True, solver_class=DPhyp):
     builder = JoinPlanBuilder(graph, cardinalities, cost_model=cost_model)
-    solver = DPhyp(graph, builder, minimize_neighborhoods=minimize)
+    solver = solver_class(
+        graph,
+        builder,
+        minimize_neighborhoods=minimize,
+        memoize_neighborhoods=memoize,
+    )
     plan = solver.run()
     assert plan is not None
     return solver
@@ -59,3 +76,38 @@ def test_subsumption_on_star_hypergraph(benchmark, minimize):
 def test_cost_model_overhead(benchmark, model):
     query = star_hypergraph(8, 0, seed=3)
     benchmark(run_dphyp, query.graph, query.cardinalities, True, model)
+
+
+@pytest.mark.parametrize("memoize", [True, False],
+                         ids=["memoized", "unmemoized"])
+def test_neighborhood_memoization(benchmark, memoize):
+    """Knob 3: the per-subgraph simple_neighborhood cache."""
+    query = star(9, seed=3)
+    solver = benchmark(
+        run_dphyp, query.graph, query.cardinalities, True, None, memoize
+    )
+    if memoize:
+        assert solver.stats.neighborhood_cache_hits > 0
+    else:
+        assert solver.stats.neighborhood_cache_hits == 0
+
+
+@pytest.mark.parametrize(
+    "solver_class",
+    [DPhyp, DPhypRecursive],
+    ids=["iterative", "recursive"],
+)
+def test_traversal_strategy(benchmark, solver_class):
+    """Knob 4: explicit-stack hot path vs. the seed recursion.
+
+    Both run with memoization on; what differs is the seed's traversal
+    and its full-edge-list connectivity scans (see
+    :mod:`repro.core.dphyp_recursive` — the configuration that
+    ``bench_regression.py`` tracks over time).
+    """
+    query = star(9, seed=3)
+    solver = benchmark(
+        run_dphyp, query.graph, query.cardinalities, True, None, True,
+        solver_class,
+    )
+    assert solver.stats.ccp_emitted == 9 * 2 ** 8

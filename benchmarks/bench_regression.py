@@ -1,0 +1,26 @@
+#!/usr/bin/env python3
+"""Perf-regression entry point: chain/cycle/star timings as JSON.
+
+Thin wrapper over :mod:`repro.bench.regression` so the harness can be
+run straight from a checkout (CI smoke job, release benchmarking)::
+
+    python benchmarks/bench_regression.py --max-n 6 --repeat 1
+    python benchmarks/bench_regression.py --out BENCH_$(date +%Y%m%d).json
+
+Unlike the ``bench_*`` pytest-benchmark modules next to it, this file
+is a plain script: it times the iterative DPhyp against the
+seed-faithful recursive baseline and validates the emitted JSON against
+the regression schema (see ``repro.bench.regression.SCHEMA_VERSION``).
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.bench.regression import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

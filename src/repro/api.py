@@ -14,6 +14,7 @@ from typing import Optional, Sequence
 
 from .core.dpccp import solve_dpccp
 from .core.dphyp import solve_dphyp
+from .core.dphyp_recursive import solve_dphyp_recursive
 from .core.dpsize import solve_dpsize
 from .core.dpsub import solve_dpsub
 from .core.greedy import solve_greedy
@@ -26,6 +27,9 @@ from .cost.models import CostModel
 #: Algorithm registry: name -> solver(graph, builder, stats).
 ALGORITHMS = {
     "dphyp": solve_dphyp,
+    # the seed's recursive formulation, kept as a measured baseline for
+    # the iterative hot path (see repro.core.dphyp_recursive)
+    "dphyp-recursive": solve_dphyp_recursive,
     "dpccp": solve_dpccp,
     "dpsize": solve_dpsize,
     "dpsub": solve_dpsub,
@@ -70,8 +74,10 @@ def optimize(
         cardinalities: base cardinality per relation; defaults to
             ``10.0`` for every relation when neither ``cardinalities``
             nor ``builder`` is given.
-        algorithm: one of ``dphyp`` (default), ``dpccp`` (simple graphs
-            only), ``dpsize``, ``dpsub``, ``topdown``, ``greedy``.
+        algorithm: one of ``dphyp`` (default), ``dphyp-recursive``
+            (the reference recursive formulation), ``dpccp`` (simple
+            graphs only), ``dpsize``, ``dpsub``, ``topdown``,
+            ``greedy``.
         cost_model: cost model for the default builder
             (default ``C_out``).
         builder: a fully custom plan builder; overrides

@@ -7,6 +7,7 @@ Usage::
     python -m repro.bench run all
     REPRO_BENCH_FULL=1 python -m repro.bench run fig6-star16   # paper size
     python -m repro.bench run fig7-regular --markdown
+    python -m repro.bench regression --out BENCH_new.json
 """
 
 from __future__ import annotations
@@ -19,6 +20,15 @@ from .reporting import render_markdown, render_table, summarize_winners
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "regression":
+        # Forward verbatim so the flag set lives in one place
+        # (repro.bench.regression.main), --help included.
+        from .regression import main as regression_main
+
+        return regression_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description=(
@@ -35,6 +45,11 @@ def main(argv=None) -> int:
     )
     run.add_argument(
         "--no-ccp", action="store_true", help="omit csg-cmp-pair counts"
+    )
+    # listed for --help only; dispatched before parsing, above
+    sub.add_parser(
+        "regression",
+        help="time the chain/cycle/star hot path, emit BENCH_*.json",
     )
     args = parser.parse_args(argv)
 

@@ -215,6 +215,49 @@ def fig8b_outerjoins(n: Optional[int] = None, **_kwargs) -> ExperimentResult:
     )
 
 
+def ablation_dphyp(n: Optional[int] = None, **_kwargs) -> ExperimentResult:
+    """DPhyp implementation knobs on star queries (repo ablation).
+
+    Not a figure of the paper: this positions the repo's own hot-path
+    choices — iterative traversal (``dphyp``), neighborhood
+    memoization (off in ``dphyp-nomemo``), and the seed-faithful
+    recursive baseline (``dphyp-recursive``) — on the star shape whose
+    neighborhood count grows fastest.
+    """
+    from ..core.dphyp import DPhyp
+
+    def solve_nomemo(graph, builder, stats=None):
+        return DPhyp(
+            graph, builder, stats, memoize_neighborhoods=False
+        ).run()
+
+    top = n if n is not None else scaled(12, 10)
+    x_values = list(range(4, top + 1))
+    variants = [
+        ("dphyp", "dphyp"),
+        ("dphyp-nomemo", solve_nomemo),
+        ("dphyp-recursive", "dphyp-recursive"),
+    ]
+    series = [Series(label=label) for label, _solver in variants]
+    for satellites in x_values:
+        query = generators.star(satellites)
+        for entry, (_label, solver) in zip(series, variants):
+            entry.points[satellites] = measure_algorithm(
+                query.graph, query.cardinalities, solver
+            )
+    return ExperimentResult(
+        experiment_id="ablation-dphyp",
+        title=f"DPhyp knob ablation on star queries, satellites=4..{top}",
+        x_label="number of satellites",
+        x_values=x_values,
+        series=series,
+        notes=(
+            "repo ablation (not a paper figure): iterative vs. "
+            "memoization-off vs. seed recursive baseline"
+        ),
+    )
+
+
 #: registry used by the CLI and the smoke tests
 EXPERIMENTS = {
     "table-cycle4": table_cycle4,
@@ -226,4 +269,5 @@ EXPERIMENTS = {
     "fig7-regular": fig7_regular,
     "fig8a-antijoin": fig8a_antijoins,
     "fig8b-outerjoin": fig8b_outerjoins,
+    "ablation-dphyp": ablation_dphyp,
 }

@@ -76,11 +76,17 @@ def time_call(
 def measure_algorithm(
     graph: Hypergraph,
     cardinalities: list[float],
-    algorithm: str,
+    algorithm,
     repeat: int = 3,
 ) -> Measurement:
-    """Time one join-ordering algorithm on a hypergraph query."""
-    solver = ALGORITHMS[algorithm]
+    """Time one join-ordering algorithm on a hypergraph query.
+
+    ``algorithm`` is a registry name from :data:`repro.api.ALGORITHMS`
+    or a solver callable ``(graph, builder, stats) -> plan`` directly —
+    the latter lets experiment drivers measure knob variants (e.g.
+    DPhyp with memoization disabled) without registering them.
+    """
+    solver = ALGORITHMS[algorithm] if isinstance(algorithm, str) else algorithm
 
     def run() -> None:
         stats = SearchStats()

@@ -1,0 +1,214 @@
+"""Perf-regression harness: canonical workloads, JSON output.
+
+Unlike the figure/table drivers in :mod:`repro.bench.experiments`
+(which reproduce the paper's evaluation), this harness exists to give
+the *repository* a performance trajectory: it times the optimizer hot
+path on the chain/cycle/star shapes, compares the iterative DPhyp
+against the preserved seed-faithful recursive baseline
+(:mod:`repro.core.dphyp_recursive`), and emits a stable JSON document
+(``BENCH_*.json``) that future changes can diff against.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench regression --out BENCH_new.json
+    PYTHONPATH=src python benchmarks/bench_regression.py --max-n 6
+
+Sizes honour the same knobs as the experiment drivers
+(``REPRO_BENCH_FULL=1`` / ``REPRO_BENCH_MAX_N=<k>``), plus an explicit
+``max_n`` clamp used by the CI smoke job to keep the schema honest at
+tiny sizes.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from typing import Optional
+
+from ..workloads import generators
+from .harness import measure_algorithm, scaled
+
+#: bump when the JSON layout changes incompatibly
+SCHEMA_VERSION = 1
+
+#: algorithms timed per workload: the iterative hot path and the
+#: seed-faithful recursive baseline it must beat
+DEFAULT_ALGORITHMS = ("dphyp", "dphyp-recursive")
+
+#: top-level keys every regression document must carry
+REQUIRED_KEYS = ("schema_version", "label", "python", "workloads", "speedups")
+
+#: per-measurement keys every algorithm entry must carry
+REQUIRED_MEASUREMENT_KEYS = (
+    "ms",
+    "ccp",
+    "cost",
+    "table_entries",
+    "neighborhood_calls",
+    "neighborhood_cache_hits",
+    "neighborhood_cache_misses",
+)
+
+
+def default_workloads(max_n: Optional[int] = None) -> list:
+    """The chain/cycle/star regression suite at scaled sizes.
+
+    ``max_n`` additionally clamps every size (CI smoke uses tiny
+    values); cycles need three relations and stars one satellite, so
+    the clamp never goes below the shape's minimum.
+    """
+
+    def clamp(n: int, floor: int) -> int:
+        if max_n is None:
+            return n
+        return max(floor, min(n, max_n))
+
+    chain_n = clamp(scaled(18, 16), 2)
+    cycle_n = clamp(scaled(16, 14), 3)
+    star_satellites = clamp(scaled(12, 11), 1)
+    return [
+        ("chain", generators.chain(chain_n)),
+        ("cycle", generators.cycle(cycle_n)),
+        ("star", generators.star(star_satellites)),
+    ]
+
+
+def run_regression(
+    max_n: Optional[int] = None,
+    repeat: int = 3,
+    label: str = "",
+    algorithms=DEFAULT_ALGORITHMS,
+) -> dict:
+    """Measure the regression suite and return the JSON document."""
+    workloads = []
+    speedups = {}
+    for shape, query in default_workloads(max_n):
+        results = {}
+        for algorithm in algorithms:
+            measurement = measure_algorithm(
+                query.graph, query.cardinalities, algorithm, repeat=repeat
+            )
+            stats = measurement.stats.as_dict()
+            results[algorithm] = {
+                "ms": round(measurement.milliseconds, 4),
+                "ccp": measurement.ccp,
+                "cost": measurement.cost,
+                "table_entries": stats["table_entries"],
+                "neighborhood_calls": stats["neighborhood_calls"],
+                "neighborhood_cache_hits": stats["neighborhood_cache_hits"],
+                "neighborhood_cache_misses": stats[
+                    "neighborhood_cache_misses"
+                ],
+            }
+        workloads.append(
+            {
+                "workload": shape,
+                "query": query.description,
+                "n_relations": query.n_relations,
+                "results": results,
+            }
+        )
+        base = results.get("dphyp-recursive")
+        new = results.get("dphyp")
+        if base and new and new["ms"] > 0:
+            speedups[query.description] = round(base["ms"] / new["ms"], 3)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "label": label,
+        "created_unix": round(time.time(), 1),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "repeat": repeat,
+        "workloads": workloads,
+        "speedups": speedups,
+    }
+
+
+def validate_result(document: dict) -> None:
+    """Raise ``ValueError`` when ``document`` violates the schema.
+
+    Used by the CI smoke job (and the test suite) so schema drift is an
+    explicit, reviewed event — bump :data:`SCHEMA_VERSION` when
+    changing the layout.
+    """
+    for key in REQUIRED_KEYS:
+        if key not in document:
+            raise ValueError(f"regression JSON missing key {key!r}")
+    if document["schema_version"] != SCHEMA_VERSION:
+        raise ValueError(
+            f"schema_version {document['schema_version']!r} != {SCHEMA_VERSION}"
+        )
+    if not document["workloads"]:
+        raise ValueError("regression JSON has no workloads")
+    for entry in document["workloads"]:
+        for key in ("workload", "query", "n_relations", "results"):
+            if key not in entry:
+                raise ValueError(f"workload entry missing key {key!r}")
+        if not entry["results"]:
+            raise ValueError(f"workload {entry['workload']!r} has no results")
+        for algorithm, measurement in entry["results"].items():
+            for key in REQUIRED_MEASUREMENT_KEYS:
+                if key not in measurement:
+                    raise ValueError(
+                        f"{entry['workload']}/{algorithm} missing {key!r}"
+                    )
+
+
+def render_summary(document: dict) -> str:
+    """Small aligned text table for terminal output."""
+    lines = [
+        f"regression suite (schema v{document['schema_version']}, "
+        f"python {document['python']})"
+    ]
+    for entry in document["workloads"]:
+        parts = [f"  {entry['query']:>12}"]
+        for algorithm, measurement in entry["results"].items():
+            parts.append(f"{algorithm}={measurement['ms']:.2f}ms")
+        parts.append(f"ccp={next(iter(entry['results'].values()))['ccp']}")
+        lines.append("  ".join(parts))
+    for query, factor in document.get("speedups", {}).items():
+        lines.append(f"  {query:>12}  iterative speedup {factor:.2f}x")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    """CLI used by ``benchmarks/bench_regression.py`` and the bench
+    ``regression`` subcommand."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="bench_regression",
+        description=(
+            "Time the DPhyp hot path on chain/cycle/star and emit a "
+            "BENCH_*.json perf-trajectory document"
+        ),
+    )
+    parser.add_argument(
+        "--out", help="write the JSON document to this path", default=None
+    )
+    parser.add_argument(
+        "--max-n", type=int, default=None,
+        help="clamp every workload size (CI smoke uses tiny values)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=3, help="timing repetitions per point"
+    )
+    parser.add_argument(
+        "--label", default="", help="free-form label stored in the document"
+    )
+    args = parser.parse_args(argv)
+
+    document = run_regression(
+        max_n=args.max_n, repeat=args.repeat, label=args.label
+    )
+    validate_result(document)
+    print(render_summary(document))
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0

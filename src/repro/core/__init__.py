@@ -3,6 +3,7 @@
 from .bitset import NodeSet
 from .dpccp import DPccp, solve_dpccp
 from .dphyp import DPhyp, solve_dphyp
+from .dphyp_recursive import DPhypRecursive, solve_dphyp_recursive
 from .dpsize import solve_dpsize
 from .dpsub import solve_dpsub
 from .dptable import DPTable
@@ -19,6 +20,8 @@ __all__ = [
     "solve_dpccp",
     "DPhyp",
     "solve_dphyp",
+    "DPhypRecursive",
+    "solve_dphyp_recursive",
     "solve_dpsize",
     "solve_dpsub",
     "DPTable",

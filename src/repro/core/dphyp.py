@@ -5,28 +5,45 @@ that emits *exactly* the csg-cmp-pairs of the query graph, each exactly
 once, in an order compatible with dynamic programming (subsets before
 supersets).
 
-The five member functions follow the paper:
+The five member functions of the paper map onto this implementation as
+follows:
 
 ``solve``
-    seeds the DP table with single-relation plans, then processes the
-    nodes in decreasing order, first emitting the csg-cmp-pairs whose
-    left side is the singleton, then growing it recursively.
+    :meth:`DPhyp.run` — seeds the DP table with single-relation plans,
+    then processes the nodes in decreasing order, first emitting the
+    csg-cmp-pairs whose left side is the singleton, then growing it.
 
-``enumerate_csg_rec(S1, X)``
-    grows a connected subgraph ``S1`` by non-empty subsets of its
-    neighborhood; a DP-table hit on ``S1 ∪ N`` proves connectivity and
-    triggers ``emit_csg``.
+``EnumerateCsgRec(S1, X)``
+    :meth:`DPhyp.enumerate_csg` — grows a connected subgraph ``S1`` by
+    non-empty subsets of its neighborhood; a DP-table hit on ``S1 ∪ N``
+    proves connectivity and triggers ``emit_csg``.
 
-``emit_csg(S1)``
-    finds the seeds of all complements for ``S1``: every neighbor node
-    ``v`` not "below" ``min(S1)``.
+``EmitCsg(S1)``
+    :meth:`DPhyp.emit_csg` — finds the seeds of all complements for
+    ``S1``: every neighbor node ``v`` not "below" ``min(S1)``.
 
-``enumerate_cmp_rec(S1, S2, X)``
-    grows the complement ``S2`` until it is (a) connected — DP-table
-    hit — and (b) actually connected *to* ``S1`` by some hyperedge.
+``EnumerateCmpRec(S1, S2, X)``
+    :meth:`DPhyp.enumerate_cmp` — grows the complement ``S2`` until it
+    is (a) connected — DP-table hit — and (b) actually connected *to*
+    ``S1`` by some hyperedge.
 
-``emit_csg_cmp(S1, S2)``
-    hands the pair to the plan builder and keeps the cheapest plan.
+``EmitCsgCmp(S1, S2)``
+    :meth:`DPhyp.emit_csg_cmp` — hands the pair to the plan builder and
+    keeps the cheapest plan.
+
+Unlike the published pseudocode (and unlike the reference
+implementation preserved in :mod:`repro.core.dphyp_recursive`), the two
+``Enumerate*Rec`` routines here are *iterative*: each maintains an
+explicit stack of ``(set, exclusion)`` frames instead of recursing once
+per grown subgraph.  Children are pushed in decreasing subset order so
+the LIFO pop visits them in the exact increasing order of the recursive
+formulation — the traversal, and therefore every emission and every
+DP-table interaction, is order-identical to the recursion (the
+equivalence tests in ``tests/test_dphyp_iterative.py`` pin this down).
+Going iterative removes Python's recursion-depth ceiling on large
+chain/cycle queries and the per-frame call overhead; the inner loops
+additionally inline the Vance--Maier subset enumeration and bind hot
+attributes to locals to keep per-subgraph allocations near zero.
 
 One deviation from the published pseudocode, noted in DESIGN.md: when
 ``emit_csg`` seeds complements it excludes, for each seed ``v``, the
@@ -52,7 +69,13 @@ from .stats import SearchStats
 
 
 class DPhyp:
-    """One-shot solver: construct, then call :meth:`run`."""
+    """One-shot solver: construct, then call :meth:`run`.
+
+    ``minimize_neighborhoods`` and ``memoize_neighborhoods`` are
+    work-saving ablation knobs (never correctness-bearing); see
+    :class:`repro.core.neighborhood.NeighborhoodIndex` and
+    ``benchmarks/bench_ablation.py``.
+    """
 
     def __init__(
         self,
@@ -60,12 +83,15 @@ class DPhyp:
         builder: PlanBuilder,
         stats: Optional[SearchStats] = None,
         minimize_neighborhoods: bool = True,
+        memoize_neighborhoods: bool = True,
     ) -> None:
         self.graph = graph
         self.builder = builder
         self.stats = stats if stats is not None else SearchStats()
         self.index = NeighborhoodIndex(
-            graph, minimize_subsumed=minimize_neighborhoods
+            graph,
+            minimize_subsumed=minimize_neighborhoods,
+            memoize=memoize_neighborhoods,
         )
         self.table = DPTable()
 
@@ -79,58 +105,104 @@ class DPhyp:
         pre-process with :meth:`Hypergraph.make_connected`).
         """
         graph = self.graph
+        table = self.table
         for node in range(graph.n_nodes):
             leaf = self.builder.leaf(node)
             if leaf is not None:
-                self.table.set_leaf(bitset.singleton(node), leaf)
+                table.set_leaf(1 << node, leaf)
         for node in range(graph.n_nodes - 1, -1, -1):
-            start = bitset.singleton(node)
+            start = 1 << node
             self.emit_csg(start)
-            self.enumerate_csg_rec(start, bitset.below(node))
-        self.stats.table_entries = len(self.table)
-        return self.table.get(graph.all_nodes)
+            self.enumerate_csg(start, (start << 1) - 1)
+        stats = self.stats
+        stats.table_entries = len(table)
+        stats.neighborhood_cache_hits += self.index.cache_hits
+        stats.neighborhood_cache_misses += self.index.cache_misses
+        return table.get(graph.all_nodes)
 
-    def enumerate_csg_rec(self, s1: NodeSet, x: NodeSet) -> None:
-        neighborhood = self.index.neighborhood(s1, x)
-        self.stats.neighborhood_calls += 1
-        if neighborhood == 0:
-            return
-        for subset in bitset.subsets(neighborhood):
-            grown = s1 | subset
-            if grown in self.table:
-                self.emit_csg(grown)
-        expanded_x = x | neighborhood
-        for subset in bitset.subsets(neighborhood):
-            self.enumerate_csg_rec(s1 | subset, expanded_x)
+    def enumerate_csg(self, s1: NodeSet, x: NodeSet) -> None:
+        """``EnumerateCsgRec``, iteratively.
+
+        Each stack frame is one call of the paper's recursion: compute
+        ``N(S, X)`` once, emit every grown subgraph with a DP-table
+        entry, then grow by every neighborhood subset with ``X``
+        expanded by the full neighborhood.
+        """
+        neighborhood_of = self.index.neighborhood
+        table = self.table
+        emit_csg = self.emit_csg
+        stats = self.stats
+        stack = [(s1, x)]
+        push = stack.append
+        pop = stack.pop
+        while stack:
+            s, x = pop()
+            neighborhood = neighborhood_of(s, x)
+            stats.neighborhood_calls += 1
+            if not neighborhood:
+                continue
+            sub = neighborhood & -neighborhood
+            while sub:
+                grown = s | sub
+                if grown in table:
+                    emit_csg(grown)
+                sub = (sub - neighborhood) & neighborhood
+            expanded = x | neighborhood
+            # Push in decreasing subset order; the LIFO pop then grows
+            # S by neighborhood subsets in the recursion's increasing
+            # order, keeping the emission order identical.
+            sub = neighborhood
+            while sub:
+                push((s | sub, expanded))
+                sub = (sub - 1) & neighborhood
 
     def emit_csg(self, s1: NodeSet) -> None:
         x = s1 | bitset.below(bitset.min_node(s1))
         neighborhood = self.index.neighborhood(s1, x)
         self.stats.neighborhood_calls += 1
-        if neighborhood == 0:
+        if not neighborhood:
             return
-        for node in bitset.iter_nodes_descending(neighborhood):
-            s2 = bitset.singleton(node)
-            if self.graph.has_connecting_edge(s1, s2):
-                self.emit_csg_cmp(s1, s2)
+        graph = self.graph
+        emit_csg_cmp = self.emit_csg_cmp
+        remaining = neighborhood
+        while remaining:  # seeds in decreasing node order, per the paper
+            s2 = 1 << (remaining.bit_length() - 1)
+            remaining ^= s2
+            if graph.has_connecting_edge(s1, s2):
+                emit_csg_cmp(s1, s2)
             # Forbid smaller neighbors during complement expansion so
             # each complement is reached from exactly one seed.
-            self.enumerate_cmp_rec(
-                s1, s2, x | (neighborhood & bitset.below(node))
-            )
+            self.enumerate_cmp(s1, s2, x | (neighborhood & ((s2 << 1) - 1)))
 
-    def enumerate_cmp_rec(self, s1: NodeSet, s2: NodeSet, x: NodeSet) -> None:
-        neighborhood = self.index.neighborhood(s2, x)
-        self.stats.neighborhood_calls += 1
-        if neighborhood == 0:
-            return
-        for subset in bitset.subsets(neighborhood):
-            grown = s2 | subset
-            if grown in self.table and self.graph.has_connecting_edge(s1, grown):
-                self.emit_csg_cmp(s1, grown)
-        expanded_x = x | neighborhood
-        for subset in bitset.subsets(neighborhood):
-            self.enumerate_cmp_rec(s1, s2 | subset, expanded_x)
+    def enumerate_cmp(self, s1: NodeSet, s2: NodeSet, x: NodeSet) -> None:
+        """``EnumerateCmpRec``, iteratively (same scheme as
+        :meth:`enumerate_csg`; ``s1`` stays fixed while the complement
+        grows)."""
+        neighborhood_of = self.index.neighborhood
+        graph = self.graph
+        table = self.table
+        emit_csg_cmp = self.emit_csg_cmp
+        stats = self.stats
+        stack = [(s2, x)]
+        push = stack.append
+        pop = stack.pop
+        while stack:
+            s, x = pop()
+            neighborhood = neighborhood_of(s, x)
+            stats.neighborhood_calls += 1
+            if not neighborhood:
+                continue
+            sub = neighborhood & -neighborhood
+            while sub:
+                grown = s | sub
+                if grown in table and graph.has_connecting_edge(s1, grown):
+                    emit_csg_cmp(s1, grown)
+                sub = (sub - neighborhood) & neighborhood
+            expanded = x | neighborhood
+            sub = neighborhood
+            while sub:
+                push((s | sub, expanded))
+                sub = (sub - 1) & neighborhood
 
     def emit_csg_cmp(self, s1: NodeSet, s2: NodeSet) -> None:
         """Build plans for the csg-cmp-pair ``(S1, S2)``.

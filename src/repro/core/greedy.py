@@ -27,6 +27,12 @@ def solve_greedy(
     bitmap, making the heuristic deterministic.
     """
     stats = stats if stats is not None else SearchStats()
+    if graph.n_nodes == 0:
+        # Degenerate zero-relation query: nothing to merge, and the
+        # final ``fragments[0]`` would raise IndexError on the empty
+        # fragment list.  The DP solvers return None here too (their
+        # tables simply never hold the empty "all relations" set).
+        return None
     fragments: list[Plan] = []
     for node in range(graph.n_nodes):
         leaf = builder.leaf(node)

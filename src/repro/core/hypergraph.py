@@ -148,6 +148,7 @@ class Hypergraph:
                 )
         if self.node_names is not None and len(self.node_names) != self.n_nodes:
             raise ValueError("node_names length must equal n_nodes")
+        self._edge_index_cache: Optional[tuple] = None
 
     # -- construction ---------------------------------------------------
 
@@ -156,12 +157,56 @@ class Hypergraph:
         if not bitset.is_subset(edge.nodes, bitset.full_set(self.n_nodes)):
             raise ValueError("edge references nodes outside the universe")
         self.edges.append(edge)
+        self._edge_index_cache = None
 
     def add_simple_edge(
         self, a: int, b: int, selectivity: float = 1.0, payload: Any = None
     ) -> None:
         """Convenience: add a simple edge between nodes ``a`` and ``b``."""
         self.add_edge(simple_edge(a, b, selectivity, payload))
+
+    # -- connectivity index ----------------------------------------------
+
+    def _edge_index(self) -> tuple:
+        """Lazily built per-node connecting-edge index.
+
+        Returns ``(key, simple_adj, simple_incident, complex_edges)``:
+
+        * ``simple_adj[i]`` — bitmap of simple-edge neighbors of node
+          ``i``, making :meth:`has_connecting_edge` a handful of table
+          lookups on the simple-edge fast path;
+        * ``simple_incident[i]`` — list of ``(other_side, position,
+          edge)`` for the simple edges incident to node ``i``;
+        * ``complex_edges`` — the non-simple edges as ``(position,
+          edge)``, the only ones that still need a
+          :meth:`Hyperedge.connects` scan.
+
+        :meth:`add_edge` invalidates the index explicitly; direct
+        appends to (or reassignment of) ``edges`` are caught via the
+        identity-and-length key below.  Replacing an element of
+        ``edges`` *in place* is not detected — treat edges as
+        append-only, or build a new :class:`Hypergraph`.
+        """
+        key = (id(self.edges), len(self.edges))
+        cache = self._edge_index_cache
+        if cache is not None and cache[0] == key:
+            return cache
+        simple_adj: list[NodeSet] = [0] * self.n_nodes
+        simple_incident: list[list] = [[] for _ in range(self.n_nodes)]
+        complex_edges: list[tuple[int, Hyperedge]] = []
+        for position, edge in enumerate(self.edges):
+            if edge.is_simple:
+                a = bitset.min_node(edge.left)
+                b = bitset.min_node(edge.right)
+                simple_adj[a] |= edge.right
+                simple_adj[b] |= edge.left
+                simple_incident[a].append((edge.right, position, edge))
+                simple_incident[b].append((edge.left, position, edge))
+            else:
+                complex_edges.append((position, edge))
+        cache = (key, simple_adj, simple_incident, complex_edges)
+        self._edge_index_cache = cache
+        return cache
 
     # -- basic queries ---------------------------------------------------
 
@@ -180,12 +225,54 @@ class Hypergraph:
         return [edge for edge in self.edges if edge.spans(s)]
 
     def connecting_edges(self, s1: NodeSet, s2: NodeSet) -> list[Hyperedge]:
-        """All edges that connect disjoint hypernodes ``s1`` and ``s2``."""
-        return [edge for edge in self.edges if edge.connects(s1, s2)]
+        """All edges that connect disjoint hypernodes ``s1`` and ``s2``.
+
+        Simple edges come from the per-node incident lists of the lazy
+        edge index (scanning only the smaller side); complex edges are
+        the only ones tested with :meth:`Hyperedge.connects`.  The
+        result preserves ``edges``-list order.
+        """
+        _key, _adj, simple_incident, complex_edges = self._edge_index()
+        probe, other = (
+            (s1, s2) if s1.bit_count() <= s2.bit_count() else (s2, s1)
+        )
+        found: dict[int, Hyperedge] = {}
+        remaining = probe
+        while remaining:
+            low = remaining & -remaining
+            for other_side, position, edge in simple_incident[
+                low.bit_length() - 1
+            ]:
+                if other_side & other:
+                    found[position] = edge
+            remaining ^= low
+        for position, edge in complex_edges:
+            if edge.connects(s1, s2):
+                found[position] = edge
+        return [edge for _position, edge in sorted(found.items())]
 
     def has_connecting_edge(self, s1: NodeSet, s2: NodeSet) -> bool:
-        """True iff some edge connects ``s1`` and ``s2`` (Def. 4 test)."""
-        return any(edge.connects(s1, s2) for edge in self.edges)
+        """True iff some edge connects ``s1`` and ``s2`` (Def. 4 test).
+
+        Fast path: a simple edge connects the sets iff some node of one
+        side is simple-adjacent to the other side — a few bitmap
+        lookups via the lazy edge index.  Only complex edges fall back
+        to the per-edge ``connects`` scan.
+        """
+        _key, simple_adj, _incident, complex_edges = self._edge_index()
+        probe, other = (
+            (s1, s2) if s1.bit_count() <= s2.bit_count() else (s2, s1)
+        )
+        remaining = probe
+        while remaining:
+            low = remaining & -remaining
+            if simple_adj[low.bit_length() - 1] & other:
+                return True
+            remaining ^= low
+        for _position, edge in complex_edges:
+            if edge.connects(s1, s2):
+                return True
+        return False
 
     # -- connectivity ----------------------------------------------------
 

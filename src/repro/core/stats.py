@@ -31,6 +31,13 @@ class SearchStats:
             plannable subsets) at the end of the run.
         neighborhood_calls: number of ``N(S, X)`` computations
             (DPhyp only).
+        neighborhood_cache_hits: ``simple_neighborhood`` memoization
+            hits inside :class:`~repro.core.neighborhood.NeighborhoodIndex`
+            (DPhyp only; zero when ``memoize_neighborhoods`` is off or
+            every query was a singleton fast-path lookup).
+        neighborhood_cache_misses: memoized ``simple_neighborhood``
+            computations, i.e. distinct multi-node subgraphs whose
+            simple neighborhood had to be computed once.
     """
 
     ccp_emitted: int = 0
@@ -38,6 +45,8 @@ class SearchStats:
     cost_calls: int = 0
     table_entries: int = 0
     neighborhood_calls: int = 0
+    neighborhood_cache_hits: int = 0
+    neighborhood_cache_misses: int = 0
     extra: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
@@ -48,6 +57,8 @@ class SearchStats:
             "cost_calls": self.cost_calls,
             "table_entries": self.table_entries,
             "neighborhood_calls": self.neighborhood_calls,
+            "neighborhood_cache_hits": self.neighborhood_cache_hits,
+            "neighborhood_cache_misses": self.neighborhood_cache_misses,
         }
         result.update(self.extra)
         return result

@@ -68,6 +68,7 @@ class TestExperimentDrivers:
             "fig7-regular",
             "fig8a-antijoin",
             "fig8b-outerjoin",
+            "ablation-dphyp",
         }
 
     def test_table_cycle4_shape(self):
@@ -103,6 +104,64 @@ class TestExperimentDrivers:
 
         result_b = fig8b_outerjoins(n=5)
         assert len(result_b.series) == 2  # DPsub excluded, as in the paper
+
+    def test_ablation_driver_variants_agree(self):
+        from repro.bench.experiments import ablation_dphyp
+
+        result = ablation_dphyp(n=5)
+        labels = [series.label for series in result.series]
+        assert labels == ["dphyp", "dphyp-nomemo", "dphyp-recursive"]
+        for satellites in result.x_values:
+            points = [series.points[satellites] for series in result.series]
+            # same enumeration regardless of knob: identical ccps/costs
+            assert len({point.ccp for point in points}) == 1
+            assert len({round(point.cost, 6) for point in points}) == 1
+
+
+class TestRegressionHarness:
+    def test_run_and_validate_tiny(self):
+        from repro.bench.regression import run_regression, validate_result
+
+        document = run_regression(max_n=5, repeat=1, label="unit-test")
+        validate_result(document)
+        shapes = [entry["workload"] for entry in document["workloads"]]
+        assert shapes == ["chain", "cycle", "star"]
+        for entry in document["workloads"]:
+            iterative = entry["results"]["dphyp"]
+            recursive = entry["results"]["dphyp-recursive"]
+            # identical enumeration and identical optimum, per PR gate
+            assert iterative["ccp"] == recursive["ccp"]
+            assert iterative["cost"] == pytest.approx(recursive["cost"])
+        assert set(document["speedups"]) == {
+            entry["query"] for entry in document["workloads"]
+        }
+
+    def test_validate_rejects_bad_documents(self):
+        from repro.bench import regression
+
+        with pytest.raises(ValueError):
+            regression.validate_result({})
+        document = regression.run_regression(max_n=4, repeat=1)
+        document["schema_version"] = 999
+        with pytest.raises(ValueError):
+            regression.validate_result(document)
+
+    def test_cli_writes_json(self, tmp_path, capsys):
+        import json
+
+        from repro.bench.regression import main, validate_result
+
+        out = tmp_path / "BENCH_smoke.json"
+        assert main(["--max-n", "4", "--repeat", "1", "--out", str(out)]) == 0
+        document = json.loads(out.read_text())
+        validate_result(document)
+        assert "regression suite" in capsys.readouterr().out
+
+    def test_bench_cli_regression_subcommand(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["regression", "--max-n", "4", "--repeat", "1"]) == 0
+        assert "iterative speedup" in capsys.readouterr().out
 
 
 class TestReporting:

@@ -98,12 +98,38 @@ class TestSubsetEnumeration:
         subs = list(bitset.subsets_descending(0b110))
         assert subs == [0b110, 0b100, 0b010]
 
+    def test_subsets_descending_complete_and_reversed(self):
+        s = 0b10110
+        descending = list(bitset.subsets_descending(s))
+        assert descending == sorted(descending, reverse=True)
+        assert descending == list(reversed(list(bitset.subsets(s))))
+        assert len(descending) == 2 ** 3 - 1
+        for sub in descending:
+            assert sub != 0
+            assert bitset.is_subset(sub, s)
+
+    def test_subsets_descending_edge_cases(self):
+        assert list(bitset.subsets_descending(0)) == []
+        assert list(bitset.subsets_descending(0b100)) == [0b100]
+        # the full set itself is always emitted first
+        assert next(bitset.subsets_descending(0b1011)) == 0b1011
+
     def test_subsets_of_empty(self):
         assert list(bitset.subsets(0)) == []
 
     def test_proper_subsets(self):
         assert set(bitset.proper_subsets(0b11)) == {0b01, 0b10}
         assert list(bitset.proper_subsets(0b1)) == []
+
+    def test_proper_subsets_exclude_only_the_set_itself(self):
+        s = 0b1101
+        proper = list(bitset.proper_subsets(s))
+        assert s not in proper
+        assert len(proper) == 2 ** 3 - 2  # all non-empty subsets minus s
+        assert set(proper) | {s} == set(bitset.subsets(s))
+
+    def test_proper_subsets_of_empty(self):
+        assert list(bitset.proper_subsets(0)) == []
 
     def test_subsets_include_full_set(self):
         assert 0b111 in set(bitset.subsets(0b111))
@@ -129,3 +155,15 @@ class TestFormat:
         assert bitset.format_set(0b11, ["lineitem", "orders"]) == (
             "{lineitem, orders}"
         )
+
+    def test_custom_names_sparse_set(self):
+        names = ["customer", "orders", "lineitem", "part"]
+        assert bitset.format_set(0b1010, names) == "{orders, part}"
+        assert bitset.format_set(0b0100, names) == "{lineitem}"
+
+    def test_custom_names_empty_set(self):
+        assert bitset.format_set(0, ["a", "b"]) == "{}"
+
+    def test_custom_names_non_string_entries(self):
+        # names are str()-ed, so any sequence works
+        assert bitset.format_set(0b101, [10, 20, 30]) == "{10, 30}"

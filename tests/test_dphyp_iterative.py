@@ -1,0 +1,168 @@
+"""Iterative DPhyp vs. the seed-faithful recursive reference.
+
+The explicit-stack rewrite in :mod:`repro.core.dphyp` must be
+observationally identical to :mod:`repro.core.dphyp_recursive`: same
+csg-cmp-pairs (count, set, and order), same optimal cost, same
+neighborhood-call count.  On top of the equivalence, the rewrite must
+actually remove the recursion-depth ceiling, and the memoization layer
+must be visible through the new stats counters without changing any
+result.
+"""
+
+import sys
+
+import pytest
+
+from repro.core.dphyp import DPhyp, solve_dphyp
+from repro.core.dphyp_recursive import DPhypRecursive, solve_dphyp_recursive
+from repro.core.plans import JoinPlanBuilder
+from repro.core.stats import SearchStats
+from repro.workloads import chain, cycle, star
+from repro.workloads.random_queries import (
+    random_hypergraph_query,
+    random_simple_query,
+)
+
+
+def record_run(solver_class, query, **kwargs):
+    """Run a solver recording the exact emission sequence."""
+    stats = SearchStats()
+    builder = JoinPlanBuilder(query.graph, query.cardinalities, stats=stats)
+    solver = solver_class(query.graph, builder, stats, **kwargs)
+    emitted = []
+    original = solver.emit_csg_cmp
+
+    def recording(s1, s2):
+        emitted.append((s1, s2))
+        original(s1, s2)
+
+    solver.emit_csg_cmp = recording
+    plan = solver.run()
+    return plan, stats, emitted
+
+
+class TestEquivalenceWithRecursiveReference:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_hypergraphs_emit_identically(self, seed):
+        query = random_hypergraph_query(
+            7, seed, n_hyperedges=3, max_hypernode=3, n_islands=2,
+            flex_probability=0.3,
+        )
+        plan_i, stats_i, emitted_i = record_run(DPhyp, query)
+        plan_r, stats_r, emitted_r = record_run(DPhypRecursive, query)
+        # same pairs, same multiplicity, same order — not just same set
+        assert emitted_i == emitted_r
+        assert stats_i.ccp_emitted == stats_r.ccp_emitted
+        assert stats_i.neighborhood_calls == stats_r.neighborhood_calls
+        assert stats_i.table_entries == stats_r.table_entries
+        assert (plan_i is None) == (plan_r is None)
+        if plan_i is not None:
+            assert plan_i.cost == pytest.approx(plan_r.cost)
+            assert plan_i.join_order() == plan_r.join_order()
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_simple_graphs_emit_identically(self, seed):
+        query = random_simple_query(7, seed, extra_edge_probability=0.4)
+        _, stats_i, emitted_i = record_run(DPhyp, query)
+        _, stats_r, emitted_r = record_run(DPhypRecursive, query)
+        assert emitted_i == emitted_r
+        assert stats_i.ccp_emitted == stats_r.ccp_emitted
+
+    @pytest.mark.parametrize(
+        "query",
+        [chain(9, seed=1), cycle(8, seed=2), star(6, seed=3)],
+        ids=["chain", "cycle", "star"],
+    )
+    def test_paper_shapes_emit_identically(self, query):
+        plan_i, stats_i, emitted_i = record_run(DPhyp, query)
+        plan_r, stats_r, emitted_r = record_run(DPhypRecursive, query)
+        assert emitted_i == emitted_r
+        assert stats_i.ccp_emitted == stats_r.ccp_emitted
+        assert plan_i.cost == pytest.approx(plan_r.cost)
+
+    def test_wrappers_agree(self):
+        query = cycle(6, seed=4)
+        plan_i = solve_dphyp(
+            query.graph, JoinPlanBuilder(query.graph, query.cardinalities)
+        )
+        plan_r = solve_dphyp_recursive(
+            query.graph, JoinPlanBuilder(query.graph, query.cardinalities)
+        )
+        assert plan_i.cost == pytest.approx(plan_r.cost)
+
+
+class TestRecursionCeilingRemoved:
+    def test_long_chain_under_tight_recursion_limit(self):
+        """The seed recursed once per grown subgraph, so a chain of n
+        relations needed ~n stack frames; the explicit stack needs a
+        constant number regardless of n."""
+        query = chain(64, seed=0)
+        limit = sys.getrecursionlimit()
+
+        def depth():
+            frame = sys._getframe()
+            n = 0
+            while frame is not None:
+                n += 1
+                frame = frame.f_back
+            return n
+
+        sys.setrecursionlimit(depth() + 50)
+        try:
+            stats = SearchStats()
+            builder = JoinPlanBuilder(
+                query.graph, query.cardinalities, stats=stats
+            )
+            plan = DPhyp(query.graph, builder, stats).run()
+        finally:
+            sys.setrecursionlimit(limit)
+        assert plan is not None
+        assert stats.ccp_emitted == (64 ** 3 - 64) // 6
+
+    def test_recursive_reference_hits_the_old_ceiling(self):
+        """Sanity check that the ceiling the rewrite removes is real."""
+        query = chain(64, seed=0)
+        limit = sys.getrecursionlimit()
+
+        def depth():
+            frame = sys._getframe()
+            n = 0
+            while frame is not None:
+                n += 1
+                frame = frame.f_back
+            return n
+
+        sys.setrecursionlimit(depth() + 50)
+        try:
+            builder = JoinPlanBuilder(query.graph, query.cardinalities)
+            with pytest.raises(RecursionError):
+                DPhypRecursive(query.graph, builder).run()
+        finally:
+            sys.setrecursionlimit(limit)
+
+
+class TestMemoizationKnob:
+    def test_cache_counters_populated(self):
+        query = star(7, seed=0)
+        _, stats, _ = record_run(DPhyp, query)
+        assert stats.neighborhood_cache_misses > 0
+        assert stats.neighborhood_cache_hits > 0
+        as_dict = stats.as_dict()
+        assert as_dict["neighborhood_cache_hits"] == (
+            stats.neighborhood_cache_hits
+        )
+        assert as_dict["neighborhood_cache_misses"] == (
+            stats.neighborhood_cache_misses
+        )
+
+    def test_knob_off_disables_cache_and_changes_nothing(self):
+        query = random_hypergraph_query(7, 3, n_hyperedges=3, n_islands=2)
+        plan_on, stats_on, emitted_on = record_run(DPhyp, query)
+        plan_off, stats_off, emitted_off = record_run(
+            DPhyp, query, memoize_neighborhoods=False
+        )
+        assert stats_off.neighborhood_cache_hits == 0
+        assert stats_off.neighborhood_cache_misses == 0
+        assert emitted_on == emitted_off
+        assert stats_on.ccp_emitted == stats_off.ccp_emitted
+        assert plan_on.cost == pytest.approx(plan_off.cost)

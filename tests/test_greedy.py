@@ -28,6 +28,13 @@ class TestBasics:
         plan = solve_greedy(graph, JoinPlanBuilder(graph, [2.0]))
         assert plan.is_leaf
 
+    def test_zero_relations_return_none(self):
+        """Regression: ``fragments[0]`` used to raise IndexError (see
+        tests/test_degenerate.py for the cross-solver audit)."""
+        graph = Hypergraph(n_nodes=1)
+        graph.n_nodes = 0  # constructor forbids 0; emulate a bad caller
+        assert solve_greedy(graph, JoinPlanBuilder(graph, [])) is None
+
 
 class TestQuality:
     @pytest.mark.parametrize("seed", range(10))

@@ -102,6 +102,53 @@ class TestHypergraphBasics:
         )
 
 
+class TestEdgeIndexFastPaths:
+    """The lazy per-node index must agree with a full connects() scan."""
+
+    def _brute_connecting(self, graph, s1, s2):
+        return [edge for edge in graph.edges if edge.connects(s1, s2)]
+
+    def test_matches_brute_force_on_fig2(self, fig2_graph):
+        universe = fig2_graph.all_nodes
+        for s1 in bitset.subsets(universe):
+            s2 = universe & ~s1
+            if s2 == 0:
+                continue
+            expected = self._brute_connecting(fig2_graph, s1, s2)
+            assert fig2_graph.connecting_edges(s1, s2) == expected
+            assert fig2_graph.has_connecting_edge(s1, s2) == bool(expected)
+
+    def test_preserves_edge_list_order(self):
+        graph = Hypergraph(n_nodes=4)
+        graph.add_simple_edge(0, 2, selectivity=0.1)
+        graph.add_simple_edge(1, 3, selectivity=0.2)
+        graph.add_simple_edge(0, 3, selectivity=0.3)
+        edges = graph.connecting_edges(bitset.set_of(0, 1), bitset.set_of(2, 3))
+        assert [edge.selectivity for edge in edges] == [0.1, 0.2, 0.3]
+
+    def test_index_invalidated_by_add_edge(self):
+        graph = Hypergraph(n_nodes=3)
+        graph.add_simple_edge(0, 1)
+        s1, s2 = bitset.singleton(1), bitset.singleton(2)
+        assert not graph.has_connecting_edge(s1, s2)  # builds the index
+        graph.add_simple_edge(1, 2)
+        assert graph.has_connecting_edge(s1, s2)
+        assert len(graph.connecting_edges(s1, s2)) == 1
+
+    def test_index_invalidated_by_direct_append(self):
+        graph = Hypergraph(n_nodes=3)
+        graph.add_simple_edge(0, 1)
+        assert graph.connecting_edges(0b10, 0b100) == []
+        graph.edges.append(simple_edge(1, 2))
+        assert len(graph.connecting_edges(0b10, 0b100)) == 1
+
+    def test_generalized_edges_still_scanned(self):
+        graph = Hypergraph(n_nodes=3)
+        graph.add_edge(Hyperedge(left=0b1, right=0b10, flex=0b100))
+        assert graph.has_connecting_edge(bitset.set_of(0, 2), 0b10)
+        assert not graph.has_connecting_edge(0b1, 0b10)  # flex uncovered
+
+
 class TestConnectivity:
     def test_fig2_connected(self, fig2_graph):
         assert fig2_graph.is_connected

@@ -106,6 +106,88 @@ class TestGeneralizedEdges:
         assert index.neighborhood(bitset.singleton(0), bitset.singleton(1)) == 0
 
 
+class TestMemoization:
+    def _chain_index(self, memoize=True):
+        graph = Hypergraph(n_nodes=4)
+        graph.add_simple_edge(0, 1)
+        graph.add_simple_edge(1, 2)
+        graph.add_simple_edge(2, 3)
+        return NeighborhoodIndex(graph, memoize=memoize)
+
+    def test_repeat_query_hits_cache(self):
+        index = self._chain_index()
+        s = bitset.set_of(1, 2)
+        first = index.simple_neighborhood(s)
+        assert (index.cache_hits, index.cache_misses) == (0, 1)
+        assert index.simple_neighborhood(s) == first
+        assert (index.cache_hits, index.cache_misses) == (1, 1)
+
+    def test_singletons_bypass_cache(self):
+        index = self._chain_index()
+        assert index.simple_neighborhood(bitset.singleton(1)) == (
+            bitset.set_of(0, 2)
+        )
+        assert index.simple_neighborhood(0) == 0
+        assert (index.cache_hits, index.cache_misses) == (0, 0)
+
+    def test_memoize_off_never_touches_cache(self):
+        index = self._chain_index(memoize=False)
+        s = bitset.set_of(0, 3)
+        assert index.simple_neighborhood(s) == bitset.set_of(1, 2)
+        assert index.simple_neighborhood(s) == bitset.set_of(1, 2)
+        assert (index.cache_hits, index.cache_misses) == (0, 0)
+
+    def test_cached_and_fresh_results_agree(self):
+        graph = Hypergraph(n_nodes=6)
+        for a, b in [(0, 1), (1, 2), (2, 3), (0, 4), (4, 5), (1, 5)]:
+            graph.add_simple_edge(a, b)
+        memoized = NeighborhoodIndex(graph, memoize=True)
+        cold = NeighborhoodIndex(graph, memoize=False)
+        for s in bitset.subsets(graph.all_nodes):
+            assert memoized.simple_neighborhood(s) == (
+                cold.simple_neighborhood(s)
+            ), bitset.format_set(s)
+            # second pass: answers must come from cache unchanged
+            assert memoized.simple_neighborhood(s) == (
+                cold.simple_neighborhood(s)
+            )
+
+
+class TestComplexAnchorSkip:
+    def test_anchor_mins_precomputed(self):
+        graph = Hypergraph(n_nodes=5)
+        graph.add_simple_edge(0, 1)
+        graph.add_edge(
+            Hyperedge(left=bitset.set_of(2, 3), right=bitset.set_of(4))
+        )
+        index = NeighborhoodIndex(graph)
+        # min of {2,3} and min of {4}, one per orientation
+        assert index.anchor_mins == bitset.set_of(2, 4)
+
+    def test_disjoint_sets_skip_scan_with_same_result(self):
+        graph = Hypergraph(n_nodes=5)
+        graph.add_simple_edge(0, 1)
+        graph.add_edge(
+            Hyperedge(left=bitset.set_of(2, 3), right=bitset.set_of(4))
+        )
+        index = NeighborhoodIndex(graph)
+        # S = {0} intersects no anchor: neighborhood is purely simple
+        assert index.neighborhood(bitset.singleton(0), 0) == (
+            bitset.singleton(1)
+        )
+        # S = {2,3} contains an anchor: the hyperedge contributes
+        assert index.neighborhood(bitset.set_of(2, 3), 0) == (
+            bitset.singleton(4)
+        )
+
+    def test_simple_only_graph_has_empty_anchor_mask(self):
+        graph = Hypergraph(n_nodes=3)
+        graph.add_simple_edge(0, 1)
+        index = NeighborhoodIndex(graph)
+        assert index.anchor_mins == 0
+        assert not index.has_complex
+
+
 class TestReachability:
     def test_reachable_from(self, fig2_graph):
         index = NeighborhoodIndex(fig2_graph)
