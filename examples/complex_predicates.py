@@ -6,7 +6,9 @@ represented in an ordinary query graph: it connects two *groups* of
 relations.  DPhyp models it as the hyperedge
 ({R1,R2,R3}, {R4,R5,R6}) and still enumerates exactly the
 csg-cmp-pairs — here 9 of them, against the 2^6-scale subset space
-DPsub has to probe.
+DPsub has to probe.  ``algorithm="auto"`` recognizes the complex edge
+and dispatches to DPhyp (never DPccp, which handles simple graphs
+only).
 
 The script also shows Section 6's generalized hyperedges: when R3 is
 algebraically movable (R1.a + R2.b = R4.d + R5.e + R6.f - R3.c), the
@@ -18,7 +20,13 @@ the flex edge lets R3 travel to the side where its neighbours live.
 Run:  python examples/complex_predicates.py
 """
 
-from repro import Hyperedge, Hypergraph, optimize
+from repro import (
+    CapabilityError,
+    DisconnectedGraphError,
+    Hyperedge,
+    Hypergraph,
+    Optimizer,
+)
 from repro.core import bitset
 from repro.core.exhaustive import count_csg_cmp_pairs
 
@@ -63,13 +71,20 @@ def main() -> None:
     print()
     print("csg-cmp-pairs (exact search space):", count_csg_cmp_pairs(graph))
 
+    auto = Optimizer().optimize(graph, cardinalities)
+    print(f"   auto: dispatched to {auto.algorithm} "
+          "(complex hyperedge rules out DPccp)")
     for algorithm in ("dphyp", "dpsize", "dpsub"):
-        result = optimize(graph, cardinalities, algorithm=algorithm)
+        result = Optimizer(algorithm=algorithm).optimize(graph, cardinalities)
         print(
             f"{algorithm:>7}: cost {result.cost:>14,.0f}   "
             f"pairs considered {result.stats.pairs_considered:>5}   "
             f"plan {result.plan.render(graph.node_names)}"
         )
+    try:
+        Optimizer(algorithm="dpccp").optimize(graph, cardinalities)
+    except CapabilityError as error:
+        print(f"  dpccp: rejected at dispatch — {error}")
 
     print()
     print("-- with R3 as a flex relation (generalized hyperedge) --")
@@ -78,11 +93,17 @@ def main() -> None:
     flexible = build_fig2(flex_r3=True, r3_attached_right=True)
     print("csg-cmp-pairs, R3 pinned left:", count_csg_cmp_pairs(pinned))
     print("csg-cmp-pairs, R3 flexible   :", count_csg_cmp_pairs(flexible))
-    blocked = optimize(pinned, cardinalities)
-    print("pinned edge  :",
-          "no cross-product-free plan" if blocked.plan is None
-          else blocked.plan.render(pinned.node_names))
-    result = optimize(flexible, cardinalities)
+    dphyp = Optimizer(algorithm="dphyp")
+    # The pinned edge strands {R1,R2,R3}: the facade reports the
+    # missing cross-product-free plan as an explicit error instead of
+    # the legacy silent plan=None.
+    try:
+        dphyp.optimize(pinned, cardinalities)
+        print("pinned edge  : unexpectedly plannable?!")
+    except DisconnectedGraphError:
+        print("pinned edge  : no cross-product-free plan "
+              "(DisconnectedGraphError)")
+    result = dphyp.optimize(flexible, cardinalities)
     print("flex edge    :", result.plan.render(flexible.node_names))
     print(f"cost         : {result.cost:,.0f}")
 

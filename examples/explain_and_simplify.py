@@ -9,13 +9,14 @@ A query written with a gratuitous outer join:
 The join predicate `S.a = T.a` is strong on S: NULL-padded rows can
 never survive it, so the outer join is really an inner join.  The
 simplification pass (the preprocessing the paper assumes in Sec. 5.2)
-detects this, which unlocks the full reordering freedom, and the
-optimizer output is shown as an EXPLAIN tree.
+detects this, which unlocks the full reordering freedom.  The facade
+accepts the operator tree directly, and ``result.explain()`` renders
+the EXPLAIN tree with relation names plumbed through automatically.
 
 Run:  python examples/explain_and_simplify.py
 """
 
-from repro import explain
+from repro import Optimizer
 from repro.algebra import (
     Equals,
     JOIN,
@@ -24,7 +25,6 @@ from repro.algebra import (
     count_outer_joins,
     leaf,
     node,
-    optimize_operator_tree,
     render_tree,
     simplify_outer_joins,
 )
@@ -50,10 +50,11 @@ def main() -> None:
     print("query        :", render_tree(tree))
     print("outer joins  :", count_outer_joins(tree))
 
-    raw = optimize_operator_tree(tree)
+    optimizer = Optimizer()  # algorithm="auto", one instance for both runs
+    raw = optimizer.optimize(tree)
     print()
     print("-- optimized as written (outer join pins the order) --")
-    print(explain(raw.plan, raw.relation_names))
+    print(raw.explain())
     print(f"explored ccps: {raw.stats.ccp_emitted}, cost {raw.cost:,.0f}")
 
     simplified = simplify_outer_joins(tree)
@@ -61,10 +62,10 @@ def main() -> None:
     print("simplified   :", render_tree(simplified))
     print("outer joins  :", count_outer_joins(simplified))
 
-    cooked = optimize_operator_tree(simplified)
+    cooked = optimizer.optimize(simplified)
     print()
     print("-- optimized after simplification --")
-    print(explain(cooked.plan, cooked.relation_names))
+    print(cooked.explain())
     print(f"explored ccps: {cooked.stats.ccp_emitted}, cost {cooked.cost:,.0f}")
     print()
     improvement = raw.cost / cooked.cost

@@ -12,6 +12,11 @@ orders; DPhyp then picks the cheapest one.  To prove nothing broke, the
 script *executes* both the initial tree and the optimized plan and
 compares the result bags row by row.
 
+This example deliberately sticks to the *legacy* entry point
+(`optimize_operator_tree`) to show the wrappers still work unchanged;
+the other examples use the `repro.Optimizer` facade, which accepts the
+same operator tree directly.
+
 Run:  python examples/outerjoin_reordering.py
 """
 

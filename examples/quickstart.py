@@ -1,36 +1,48 @@
 #!/usr/bin/env python3
-"""Quickstart: optimal join ordering with DPhyp in ten lines.
+"""Quickstart: optimal join ordering through the Optimizer facade.
 
-Builds a five-relation chain query, optimizes it with DPhyp, and
-compares all enumeration algorithms plus the greedy heuristic.
+Declares a five-relation chain query as a QuerySpec, lets
+algorithm="auto" pick the right enumerator, prints the EXPLAIN tree,
+and compares all registered algorithms through one reusable Optimizer.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import Hypergraph, optimize
+from repro import Optimizer, OptimizerConfig, QuerySpec
 
 # A chain query: customer -> orders -> lineitem -> part -> supplier.
-names = ["customer", "orders", "lineitem", "part", "supplier"]
-cardinalities = [15_000, 150_000, 600_000, 20_000, 1_000]
-
-graph = Hypergraph(n_nodes=5, node_names=names)
-graph.add_simple_edge(0, 1, selectivity=1 / 15_000)   # c_custkey = o_custkey
-graph.add_simple_edge(1, 2, selectivity=1 / 150_000)  # o_orderkey = l_orderkey
-graph.add_simple_edge(2, 3, selectivity=1 / 20_000)   # l_partkey = p_partkey
-graph.add_simple_edge(3, 4, selectivity=1 / 1_000)    # p_suppkey = s_suppkey
+spec = QuerySpec(
+    relations={
+        "customer": 15_000,
+        "orders": 150_000,
+        "lineitem": 600_000,
+        "part": 20_000,
+        "supplier": 1_000,
+    },
+    joins=[
+        ("customer", "orders", 1 / 15_000),    # c_custkey = o_custkey
+        ("orders", "lineitem", 1 / 150_000),   # o_orderkey = l_orderkey
+        ("lineitem", "part", 1 / 20_000),      # l_partkey = p_partkey
+        ("part", "supplier", 1 / 1_000),       # p_suppkey = s_suppkey
+    ],
+)
 
 
 def main() -> None:
-    result = optimize(graph, cardinalities)  # algorithm="dphyp"
-    print("optimal plan :", result.plan.render(names))
-    print(f"estimated out: {result.plan.cardinality:,.0f} rows")
+    result = Optimizer().optimize(spec)  # algorithm="auto"
+    print(f"auto picked  : {result.algorithm}")
+    print("optimal plan :", result.plan.render(result.relation_names))
+    print(f"estimated out: {result.cardinality:,.0f} rows")
     print(f"C_out cost   : {result.cost:,.0f}")
     print(f"csg-cmp-pairs: {result.stats.ccp_emitted}")
+    print()
+    print(result.explain())
     print()
 
     print(f"{'algorithm':>10}  {'cost':>14}  {'pairs considered':>16}")
     for algorithm in ("dphyp", "dpccp", "dpsize", "dpsub", "topdown", "greedy"):
-        r = optimize(graph, cardinalities, algorithm=algorithm)
+        opt = Optimizer(OptimizerConfig(algorithm=algorithm))
+        r = opt.optimize(spec)
         pairs = r.stats.pairs_considered or r.stats.ccp_emitted
         print(f"{algorithm:>10}  {r.cost:>14,.0f}  {pairs:>16}")
     print()

@@ -11,18 +11,38 @@ table and figure of the paper's evaluation.
 
 Quickstart::
 
-    from repro import Hypergraph, optimize
+    from repro import Optimizer, QuerySpec
 
-    graph = Hypergraph(n_nodes=3)
-    graph.add_simple_edge(0, 1, selectivity=0.1)
-    graph.add_simple_edge(1, 2, selectivity=0.2)
-    result = optimize(graph, cardinalities=[1000, 100, 10])
-    print(result.plan.render(), result.cost)
+    spec = QuerySpec(
+        relations={"customer": 1000, "orders": 100, "lineitem": 10},
+        joins=[("customer", "orders", 0.1), ("orders", "lineitem", 0.2)],
+    )
+    result = Optimizer().optimize(spec)   # algorithm="auto"
+    print(result.explain())
+
+The historical one-shot entry points :func:`optimize` (hypergraphs)
+and :func:`repro.algebra.optimize_operator_tree` remain as thin
+wrappers over the facade.
 """
 
 from .api import ALGORITHMS, OptimizationResult, optimize
 from .explain import explain, explain_dot, plan_summary
+from .optimizer import (
+    JoinSpec,
+    Optimizer,
+    OptimizerConfig,
+    QuerySpec,
+)
+from .registry import (
+    AlgorithmInfo,
+    CapabilityError,
+    algorithm_names,
+    get_algorithm,
+    register_algorithm,
+    unregister_algorithm,
+)
 from .core import (
+    DisconnectedGraphError,
     Hyperedge,
     Hypergraph,
     JoinPlanBuilder,
@@ -45,12 +65,23 @@ from .cost import (
     SortMergeModel,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ALGORITHMS",
     "OptimizationResult",
     "optimize",
+    "Optimizer",
+    "OptimizerConfig",
+    "QuerySpec",
+    "JoinSpec",
+    "AlgorithmInfo",
+    "CapabilityError",
+    "DisconnectedGraphError",
+    "algorithm_names",
+    "get_algorithm",
+    "register_algorithm",
+    "unregister_algorithm",
     "explain",
     "explain_dot",
     "plan_summary",

@@ -1,50 +1,36 @@
-"""End-to-end optimization of operator trees.
+"""End-to-end optimization of operator trees (legacy wrapper).
 
-Chains together everything Section 5 describes:
+The unified front door is :class:`repro.Optimizer`, which accepts an
+operator tree directly and chains together everything Section 5
+describes:
 
 1. validate the initial operator tree,
 2. normalize commutative children (Appendix L1 -> L2),
 3. run CalcTES (SES + conflict rules),
 4. derive the query hypergraph from the TESs (Section 5.7) — or from
    the SESs for the generate-and-test comparator,
-5. enumerate with DPhyp (or any of the baselines) using the
+5. enumerate with DPhyp (or any registered algorithm) using the
    operator-aware plan builder.
+
+:func:`optimize_operator_tree` is the original signature, kept as a
+thin wrapper over the facade.  :class:`TreeOptimizationResult` is now
+an alias of the unified :class:`repro.OptimizationResult`, which
+carries the same ``plan`` / ``stats`` / ``compiled`` / ``algorithm`` /
+``mode`` fields plus the ``.explain()`` / ``.to_dict()`` conveniences.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
-from ..api import ALGORITHMS
-from ..core.plans import Plan
-from ..core.stats import SearchStats
 from ..cost.models import CostModel
-from .hyperedges import CompiledQuery, compile_tree
-from .optree import TreeNode, normalize_commutative_children, validate_tree
-from .reorder import OperatorPlanBuilder
-from .tes_filter import TesFilterPlanBuilder, compile_tree_ses
+from ..optimizer import OptimizationResult, Optimizer, OptimizerConfig
+from .optree import TreeNode
 
+#: Backwards-compatible alias: tree runs return the unified result.
+TreeOptimizationResult = OptimizationResult
 
-@dataclass
-class TreeOptimizationResult:
-    """Result of optimizing an operator tree."""
-
-    plan: Optional[Plan]
-    stats: SearchStats
-    compiled: CompiledQuery
-    algorithm: str
-    mode: str  # "hyperedges" or "tes-filter"
-
-    @property
-    def cost(self) -> float:
-        if self.plan is None:
-            raise ValueError("query has no valid reordering (internal error)")
-        return self.plan.cost
-
-    @property
-    def relation_names(self) -> list[str]:
-        return self.compiled.relation_names
+__all__ = ["TreeOptimizationResult", "optimize_operator_tree"]
 
 
 def optimize_operator_tree(
@@ -52,13 +38,15 @@ def optimize_operator_tree(
     algorithm: str = "dphyp",
     cost_model: Optional[CostModel] = None,
     mode: str = "hyperedges",
-) -> TreeOptimizationResult:
+) -> OptimizationResult:
     """Optimize a query given as an initial operator tree.
+
+    Legacy wrapper over :class:`repro.Optimizer`.
 
     Args:
         tree: the initial operator tree (Section 5.3); it is validated
             and normalized here, the input object is not modified.
-        algorithm: any solver from :data:`repro.api.ALGORITHMS`.
+        algorithm: any registered algorithm name, or ``"auto"``.
         cost_model: defaults to ``C_out``.
         mode: ``"hyperedges"`` for the Section 5.7 formulation
             (conflicts folded into the hyperedges — the fast path) or
@@ -66,30 +54,13 @@ def optimize_operator_tree(
             Fig. 8a (SES-based edges, TES tested late).
 
     Returns:
-        A :class:`TreeOptimizationResult`.  ``plan`` is never ``None``
-        for a valid tree: the initial tree itself is always within the
-        explored space.
+        An :class:`OptimizationResult` with ``compiled`` and ``mode``
+        populated.  ``plan`` is never ``None`` for a valid tree: the
+        initial tree itself is always within the explored space.
     """
-    if algorithm not in ALGORITHMS:
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; pick one of {sorted(ALGORITHMS)}"
-        )
-    if mode not in ("hyperedges", "tes-filter"):
-        raise ValueError("mode must be 'hyperedges' or 'tes-filter'")
-    validate_tree(tree)
-    normalized = normalize_commutative_children(tree)
-    stats = SearchStats()
-    if mode == "hyperedges":
-        compiled = compile_tree(normalized)
-        builder = OperatorPlanBuilder(compiled, cost_model, stats)
-    else:
-        compiled, requirements = compile_tree_ses(normalized)
-        builder = TesFilterPlanBuilder(compiled, requirements, cost_model, stats)
-    plan = ALGORITHMS[algorithm](compiled.graph, builder, stats)
-    return TreeOptimizationResult(
-        plan=plan,
-        stats=stats,
-        compiled=compiled,
+    facade = Optimizer(OptimizerConfig(
         algorithm=algorithm,
+        cost_model=cost_model,
         mode=mode,
-    )
+    ))
+    return facade.optimize(tree)

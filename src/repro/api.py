@@ -1,62 +1,28 @@
-"""High-level entry points.
+"""High-level entry points (legacy wrappers).
 
-Most users only need :func:`optimize`: hand it a hypergraph (or an
-operator tree for non-inner-join queries via
-:func:`repro.algebra.optimize_operator_tree`), pick an algorithm, and
-get an optimal :class:`~repro.core.plans.Plan` plus search statistics
-back.
+The unified front door is :class:`repro.Optimizer` — construct it once
+with an :class:`repro.OptimizerConfig` and call ``optimize`` /
+``optimize_many`` with a hypergraph, an operator tree, or a
+:class:`repro.QuerySpec`.
+
+:func:`optimize` below is the original hypergraph-only signature, kept
+as a thin wrapper over the facade so existing callers (and quick
+one-off scripts) keep working.  :data:`ALGORITHMS` is preserved as a
+live read-only ``name -> solver`` view of the capability-aware
+registry in :mod:`repro.registry`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from .core.dpccp import solve_dpccp
-from .core.dphyp import solve_dphyp
-from .core.dphyp_recursive import solve_dphyp_recursive
-from .core.dpsize import solve_dpsize
-from .core.dpsub import solve_dpsub
-from .core.greedy import solve_greedy
 from .core.hypergraph import Hypergraph
-from .core.plans import JoinPlanBuilder, Plan, PlanBuilder
-from .core.stats import SearchStats
-from .core.topdown import solve_topdown
+from .core.plans import PlanBuilder
 from .cost.models import CostModel
+from .optimizer import OptimizationResult, Optimizer, OptimizerConfig
+from .registry import ALGORITHMS
 
-#: Algorithm registry: name -> solver(graph, builder, stats).
-ALGORITHMS = {
-    "dphyp": solve_dphyp,
-    # the seed's recursive formulation, kept as a measured baseline for
-    # the iterative hot path (see repro.core.dphyp_recursive)
-    "dphyp-recursive": solve_dphyp_recursive,
-    "dpccp": solve_dpccp,
-    "dpsize": solve_dpsize,
-    "dpsub": solve_dpsub,
-    "topdown": solve_topdown,
-    "greedy": solve_greedy,
-}
-
-
-@dataclass
-class OptimizationResult:
-    """Everything a caller wants back from one optimizer run."""
-
-    plan: Optional[Plan]
-    stats: SearchStats
-    algorithm: str
-
-    @property
-    def cost(self) -> float:
-        if self.plan is None:
-            raise ValueError("query has no cross-product-free plan")
-        return self.plan.cost
-
-    @property
-    def cardinality(self) -> float:
-        if self.plan is None:
-            raise ValueError("query has no cross-product-free plan")
-        return self.plan.cardinality
+__all__ = ["ALGORITHMS", "OptimizationResult", "optimize"]
 
 
 def optimize(
@@ -68,16 +34,20 @@ def optimize(
 ) -> OptimizationResult:
     """Find the optimal cross-product-free join order for ``graph``.
 
+    Legacy wrapper over :class:`repro.Optimizer`; one-shot calls with
+    per-call arguments.  Unlike the facade's default policy, a
+    disconnected graph is *not* an error here (historical behaviour):
+    the result simply carries ``plan=None`` and raises on ``.cost``.
+
     Args:
-        graph: the query hypergraph.  Must be connected; use
-            :meth:`Hypergraph.make_connected` first if it is not.
+        graph: the query hypergraph.
         cardinalities: base cardinality per relation; defaults to
             ``10.0`` for every relation when neither ``cardinalities``
             nor ``builder`` is given.
-        algorithm: one of ``dphyp`` (default), ``dphyp-recursive``
-            (the reference recursive formulation), ``dpccp`` (simple
-            graphs only), ``dpsize``, ``dpsub``, ``topdown``,
-            ``greedy``.
+        algorithm: a registry name — ``dphyp`` (default),
+            ``dphyp-recursive``, ``dpccp`` (simple graphs only),
+            ``dpsize``, ``dpsub``, ``topdown``, ``greedy`` — or
+            ``"auto"`` for capability-aware dispatch.
         cost_model: cost model for the default builder
             (default ``C_out``).
         builder: a fully custom plan builder; overrides
@@ -87,14 +57,9 @@ def optimize(
         An :class:`OptimizationResult` with plan (``None`` when the
         graph is disconnected / unplannable) and search statistics.
     """
-    if algorithm not in ALGORITHMS:
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; pick one of {sorted(ALGORITHMS)}"
-        )
-    stats = SearchStats()
-    if builder is None:
-        if cardinalities is None:
-            cardinalities = [10.0] * graph.n_nodes
-        builder = JoinPlanBuilder(graph, cardinalities, cost_model, stats)
-    plan = ALGORITHMS[algorithm](graph, builder, stats)
-    return OptimizationResult(plan=plan, stats=stats, algorithm=algorithm)
+    facade = Optimizer(OptimizerConfig(
+        algorithm=algorithm,
+        cost_model=cost_model,
+        on_disconnected="plan-none",
+    ))
+    return facade.optimize(graph, cardinalities=cardinalities, builder=builder)

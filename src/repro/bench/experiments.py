@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..optimizer import Optimizer, OptimizerConfig
 from ..workloads import generators, hyper
 from ..workloads.nonreorderable import cycle_outerjoin_tree, star_antijoin_tree
 from .harness import ExperimentResult, Series, measure_algorithm, measure_tree, scaled
@@ -220,22 +221,18 @@ def ablation_dphyp(n: Optional[int] = None, **_kwargs) -> ExperimentResult:
 
     Not a figure of the paper: this positions the repo's own hot-path
     choices — iterative traversal (``dphyp``), neighborhood
-    memoization (off in ``dphyp-nomemo``), and the seed-faithful
-    recursive baseline (``dphyp-recursive``) — on the star shape whose
+    memoization (off in ``dphyp-nomemo``, expressed as a configured
+    :class:`repro.Optimizer`), and the seed-faithful recursive
+    baseline (``dphyp-recursive``) — on the star shape whose
     neighborhood count grows fastest.
     """
-    from ..core.dphyp import DPhyp
-
-    def solve_nomemo(graph, builder, stats=None):
-        return DPhyp(
-            graph, builder, stats, memoize_neighborhoods=False
-        ).run()
-
     top = n if n is not None else scaled(12, 10)
     x_values = list(range(4, top + 1))
     variants = [
         ("dphyp", "dphyp"),
-        ("dphyp-nomemo", solve_nomemo),
+        ("dphyp-nomemo", Optimizer(OptimizerConfig(
+            algorithm="dphyp", memoize_neighborhoods=False
+        ))),
         ("dphyp-recursive", "dphyp-recursive"),
     ]
     series = [Series(label=label) for label, _solver in variants]

@@ -20,10 +20,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from ..api import ALGORITHMS
 from ..core.hypergraph import Hypergraph
 from ..core.plans import JoinPlanBuilder
 from ..core.stats import SearchStats
+from ..optimizer import Optimizer, OptimizerConfig
 
 
 def scaled(paper_n: int, default_cap: int) -> int:
@@ -81,12 +81,36 @@ def measure_algorithm(
 ) -> Measurement:
     """Time one join-ordering algorithm on a hypergraph query.
 
-    ``algorithm`` is a registry name from :data:`repro.api.ALGORITHMS`
-    or a solver callable ``(graph, builder, stats) -> plan`` directly —
-    the latter lets experiment drivers measure knob variants (e.g.
-    DPhyp with memoization disabled) without registering them.
+    ``algorithm`` is a registry name (resolved through the
+    capability-aware registry and run via the :class:`repro.Optimizer`
+    facade — the same code path users take), a pre-configured
+    :class:`repro.Optimizer` instance (knob variants, e.g. DPhyp with
+    memoization disabled), or a solver callable ``(graph, builder,
+    stats) -> plan`` directly for unregistered experiments.
     """
-    solver = ALGORITHMS[algorithm] if isinstance(algorithm, str) else algorithm
+    if isinstance(algorithm, (str, Optimizer)):
+        if isinstance(algorithm, str):
+            # OptimizerConfig validates the name and raises the
+            # canonical "unknown algorithm" error.
+            facade = Optimizer(OptimizerConfig(
+                algorithm=algorithm, on_disconnected="plan-none"
+            ))
+        else:
+            facade = algorithm
+
+        def run():
+            return facade.optimize(graph, cardinalities=cardinalities)
+
+        milliseconds = time_call(run, repeat)
+        # One extra instrumented run for stats and cost (not timed).
+        result = facade.optimize(graph, cardinalities=cardinalities)
+        return Measurement(
+            milliseconds=milliseconds,
+            stats=result.stats,
+            cost=result.plan.cost if result.plan is not None else None,
+        )
+
+    solver = algorithm
 
     def run() -> None:
         stats = SearchStats()
@@ -94,7 +118,6 @@ def measure_algorithm(
         solver(graph, builder, stats)
 
     milliseconds = time_call(run, repeat)
-    # One extra instrumented run for stats and cost (not timed).
     stats = SearchStats()
     builder = JoinPlanBuilder(graph, cardinalities, stats=stats)
     plan = solver(graph, builder, stats)
@@ -112,13 +135,13 @@ def measure_tree(
     repeat: int = 3,
 ) -> Measurement:
     """Time operator-tree optimization (Section 5 experiments)."""
-    from ..algebra.pipeline import optimize_operator_tree
+    facade = Optimizer(OptimizerConfig(algorithm=algorithm, mode=mode))
 
     def run() -> None:
-        optimize_operator_tree(tree, algorithm=algorithm, mode=mode)
+        facade.optimize(tree)
 
     milliseconds = time_call(run, repeat)
-    result = optimize_operator_tree(tree, algorithm=algorithm, mode=mode)
+    result = facade.optimize(tree)
     return Measurement(
         milliseconds=milliseconds,
         stats=result.stats,

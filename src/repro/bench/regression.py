@@ -157,6 +157,98 @@ def validate_result(document: dict) -> None:
                     )
 
 
+def compare_documents(
+    current: dict, baseline: dict, tolerance: float = 1.3
+) -> list[str]:
+    """Diff ``current`` against a committed baseline document.
+
+    Returns a list of human-readable regression messages (empty means
+    the run is clean).  Three guards per shared workload shape:
+
+    * **cost** must match exactly — a change means the optimizer now
+      picks a different plan (a correctness/quality regression);
+    * **ccp** must match exactly — a change means the enumerated
+      search space drifted;
+    * **time** may not regress by more than ``tolerance``.  Wall-clock
+      is not comparable across machines, so when both documents carry
+      the ``dphyp-recursive`` baseline the check uses the
+      hardware-normalized ratio ``dphyp_ms / dphyp_recursive_ms``;
+      only absent that does it fall back to raw milliseconds.
+
+    Workloads whose recorded query differs (e.g. a ``--max-n`` clamp)
+    are skipped with a note rather than compared apples-to-oranges.
+    """
+    problems: list[str] = []
+    base_by_shape = {w["workload"]: w for w in baseline.get("workloads", [])}
+    current_by_shape = {w["workload"]: w for w in current["workloads"]}
+    # Baseline coverage that vanished from the current run would
+    # silently hollow out the gate — flag it instead of skipping.
+    for shape, base in base_by_shape.items():
+        entry = current_by_shape.get(shape)
+        if entry is None:
+            problems.append(
+                f"{shape}: workload present in baseline but missing from "
+                "the current run (coverage loss)"
+            )
+            continue
+        for algorithm in base["results"]:
+            if algorithm not in entry["results"]:
+                problems.append(
+                    f"{shape}/{algorithm}: measured in baseline but missing "
+                    "from the current run (coverage loss)"
+                )
+    for entry in current["workloads"]:
+        shape = entry["workload"]
+        base = base_by_shape.get(shape)
+        if base is None:
+            continue
+        if entry["query"] != base["query"]:
+            problems.append(
+                f"{shape}: query {entry['query']!r} != baseline "
+                f"{base['query']!r} (size mismatch — run at baseline sizes)"
+            )
+            continue
+        for algorithm, measurement in entry["results"].items():
+            base_measurement = base["results"].get(algorithm)
+            if base_measurement is None:
+                continue
+            if measurement["ccp"] != base_measurement["ccp"]:
+                problems.append(
+                    f"{shape}/{algorithm}: ccp {measurement['ccp']} != "
+                    f"baseline {base_measurement['ccp']} (search space drift)"
+                )
+            if measurement["cost"] != base_measurement["cost"]:
+                problems.append(
+                    f"{shape}/{algorithm}: cost {measurement['cost']} != "
+                    f"baseline {base_measurement['cost']} (plan drift)"
+                )
+        ratio = _time_ratio(entry["results"], base["results"])
+        if ratio is not None and ratio > tolerance:
+            problems.append(
+                f"{shape}: dphyp is {ratio:.2f}x slower than baseline "
+                f"(tolerance {tolerance}x)"
+            )
+    return problems
+
+
+def _time_ratio(current: dict, baseline: dict) -> Optional[float]:
+    """Slowdown factor of dphyp vs the baseline document.
+
+    Normalized by the in-document ``dphyp-recursive`` time when both
+    documents have it (so CI hardware differences cancel out); raw
+    milliseconds otherwise.
+    """
+    cur = current.get("dphyp")
+    base = baseline.get("dphyp")
+    if not cur or not base or not cur["ms"] or not base["ms"]:
+        return None
+    cur_ref = current.get("dphyp-recursive")
+    base_ref = baseline.get("dphyp-recursive")
+    if cur_ref and base_ref and cur_ref["ms"] and base_ref["ms"]:
+        return (cur["ms"] / cur_ref["ms"]) / (base["ms"] / base_ref["ms"])
+    return cur["ms"] / base["ms"]
+
+
 def render_summary(document: dict) -> str:
     """Small aligned text table for terminal output."""
     lines = [
@@ -199,6 +291,15 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--label", default="", help="free-form label stored in the document"
     )
+    parser.add_argument(
+        "--compare", default=None, metavar="BASELINE.json",
+        help="diff against a committed baseline document; non-zero exit "
+             "on cost/ccp drift or slowdown beyond --tolerance",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=1.3,
+        help="max allowed slowdown factor vs the baseline (default 1.3)",
+    )
     args = parser.parse_args(argv)
 
     document = run_regression(
@@ -211,4 +312,14 @@ def main(argv=None) -> int:
             json.dump(document, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.out}", file=sys.stderr)
+    if args.compare:
+        with open(args.compare) as handle:
+            baseline = json.load(handle)
+        problems = compare_documents(document, baseline, args.tolerance)
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print(f"no regression vs {args.compare} "
+              f"(tolerance {args.tolerance}x)")
     return 0

@@ -8,7 +8,12 @@ from .dpsize import solve_dpsize
 from .dpsub import solve_dpsub
 from .dptable import DPTable
 from .greedy import solve_greedy
-from .hypergraph import Hyperedge, Hypergraph, simple_edge
+from .hypergraph import (
+    DisconnectedGraphError,
+    Hyperedge,
+    Hypergraph,
+    simple_edge,
+)
 from .neighborhood import NeighborhoodIndex
 from .plans import JoinPlanBuilder, Plan, PlanBuilder
 from .stats import SearchStats
@@ -26,6 +31,7 @@ __all__ = [
     "solve_dpsub",
     "DPTable",
     "solve_greedy",
+    "DisconnectedGraphError",
     "Hyperedge",
     "Hypergraph",
     "simple_edge",

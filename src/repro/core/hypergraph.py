@@ -23,6 +23,18 @@ from . import bitset
 from .bitset import NodeSet
 
 
+class DisconnectedGraphError(ValueError):
+    """The query hypergraph is not connected.
+
+    A disconnected graph has no cross-product-free plan, so the
+    enumeration algorithms would silently produce ``plan=None``.  The
+    :class:`~repro.optimizer.Optimizer` facade raises this instead (or
+    auto-applies :meth:`Hypergraph.make_connected` when configured
+    with ``on_disconnected="connect"``) so the failure is explicit at
+    the call site rather than a later ``ValueError`` on ``.cost``.
+    """
+
+
 @dataclass(frozen=True)
 class Hyperedge:
     """A generalized hyperedge ``(u, v, w)`` with an optional payload.

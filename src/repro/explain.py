@@ -22,6 +22,22 @@ from .core import bitset
 from .core.plans import Plan
 
 
+def payload_text(payload) -> Optional[str]:
+    """Predicate annotation of one hyperedge payload, or ``None``.
+
+    Operator-derived edges carry an :class:`EdgeInfo` with a
+    structured predicate; plain-hypergraph edges may carry any payload
+    the user attached (e.g. a predicate string from ``QuerySpec``) —
+    render it verbatim rather than dropping the annotation.  Shared by
+    the EXPLAIN renderers here and ``OptimizationResult.to_dict()``.
+    """
+    if payload is None:
+        return None
+    if isinstance(payload, EdgeInfo):
+        return str(payload.predicate)
+    return str(payload)
+
+
 def _node_label(plan: Plan, names: Optional[Sequence[str]]) -> str:
     if plan.is_leaf:
         name = bitset.format_set(plan.nodes, names)[1:-1]
@@ -32,9 +48,9 @@ def _node_label(plan: Plan, names: Optional[Sequence[str]]) -> str:
         f"cost={plan.cost:,.0f})"
     )
     predicates = [
-        str(edge.payload.predicate)
-        for edge in plan.edges
-        if isinstance(edge.payload, EdgeInfo)
+        text
+        for text in (payload_text(edge.payload) for edge in plan.edges)
+        if text is not None
     ]
     if predicates:
         label += "  [" + " AND ".join(predicates) + "]"

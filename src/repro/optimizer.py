@@ -1,0 +1,588 @@
+"""The unified ``Optimizer`` facade.
+
+One front door for every query representation the package understands:
+
+* a :class:`~repro.core.hypergraph.Hypergraph` (Sections 2–4),
+* an operator tree (:class:`~repro.algebra.optree.TreeNode`,
+  Section 5),
+* a declarative :class:`QuerySpec` (relations + cardinalities + join
+  predicates),
+* a :class:`~repro.workloads.generators.Query` bundle as produced by
+  the workload generators.
+
+Construct :class:`Optimizer` once with an :class:`OptimizerConfig`
+(cost model, algorithm name or ``"auto"``, DPhyp knobs,
+disconnected-graph policy), then call :meth:`Optimizer.optimize` per
+query or :meth:`Optimizer.optimize_many` for batches.  Every path
+returns the same :class:`OptimizationResult`, which carries the plan,
+search statistics, the resolved algorithm, relation names, and the
+``.explain()`` / ``.to_dict()`` conveniences.
+
+``algorithm="auto"`` dispatches per the paper's guidance using the
+capability metadata in :mod:`repro.registry`: DPccp for small simple
+graphs, DPhyp for everything exact (complex hyperedges included), and
+the greedy heuristic beyond ``exact_threshold`` relations, where
+exhaustive enumeration stops being a sensible default.
+
+The legacy entry points — :func:`repro.api.optimize` and
+:func:`repro.algebra.pipeline.optimize_operator_tree` — are thin
+wrappers over this facade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Mapping, Optional, Sequence, Union
+
+from .core.dphyp import DPhyp, solve_dphyp
+from .core.hypergraph import (
+    DisconnectedGraphError,
+    Hyperedge,
+    Hypergraph,
+)
+from .core import bitset
+from .core.plans import JoinPlanBuilder, Plan, PlanBuilder
+from .core.stats import SearchStats
+from .cost.models import CostModel
+from .registry import (
+    AlgorithmInfo,
+    check_capabilities,
+    get_algorithm,
+    select_auto,
+)
+
+
+# -- declarative query specification ---------------------------------------
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """One join predicate of a :class:`QuerySpec`.
+
+    ``left`` / ``right`` are relation-name groups (a single name for a
+    plain binary join, several for a complex n-ary predicate), ``flex``
+    the relations the predicate allows on either side (Section 6), and
+    ``predicate`` an optional human-readable annotation that rides
+    along as the hyperedge payload and shows up in EXPLAIN output.
+    """
+
+    left: tuple[str, ...]
+    right: tuple[str, ...]
+    selectivity: float = 1.0
+    flex: tuple[str, ...] = ()
+    predicate: Optional[str] = None
+
+    @staticmethod
+    def _group(side: Union[str, Sequence[str]]) -> tuple[str, ...]:
+        if isinstance(side, str):
+            return (side,)
+        return tuple(side)
+
+    @classmethod
+    def of(
+        cls,
+        left: Union[str, Sequence[str]],
+        right: Union[str, Sequence[str]],
+        selectivity: float = 1.0,
+        flex: Union[str, Sequence[str]] = (),
+        predicate: Optional[str] = None,
+    ) -> "JoinSpec":
+        """Build a spec accepting bare strings or name sequences."""
+        return cls(
+            left=cls._group(left),
+            right=cls._group(right),
+            selectivity=float(selectivity),
+            flex=cls._group(flex) if flex else (),
+            predicate=predicate,
+        )
+
+    @classmethod
+    def parse(cls, raw: Union["JoinSpec", tuple, Mapping]) -> "JoinSpec":
+        """Coerce the accepted shorthand forms into a :class:`JoinSpec`.
+
+        Accepted: a ``JoinSpec``; a ``(left, right)`` or ``(left,
+        right, selectivity)`` tuple; a mapping with keys ``left`` /
+        ``right`` and optional ``selectivity`` / ``flex`` /
+        ``predicate``.
+        """
+        if isinstance(raw, JoinSpec):
+            return raw
+        if isinstance(raw, Mapping):
+            return cls.of(
+                raw["left"],
+                raw["right"],
+                selectivity=raw.get("selectivity", 1.0),
+                flex=raw.get("flex", ()),
+                predicate=raw.get("predicate"),
+            )
+        if isinstance(raw, tuple) and len(raw) in (2, 3):
+            selectivity = raw[2] if len(raw) == 3 else 1.0
+            return cls.of(raw[0], raw[1], selectivity=selectivity)
+        raise ValueError(
+            f"cannot interpret {raw!r} as a join spec; use JoinSpec, "
+            "(left, right[, selectivity]), or a mapping"
+        )
+
+
+@dataclass
+class QuerySpec:
+    """A declarative join-ordering problem: names, cardinalities, joins.
+
+    The third query representation the facade accepts, for callers who
+    have neither a hand-built hypergraph nor an operator tree::
+
+        spec = QuerySpec(
+            relations={"customer": 15_000, "orders": 150_000},
+            joins=[("customer", "orders", 1 / 15_000)],
+        )
+        result = Optimizer().optimize(spec)
+
+    ``relations`` may be a mapping ``name -> cardinality`` or a
+    sequence of ``(name, cardinality)`` pairs (which also fixes the
+    node order); ``joins`` accepts every form :meth:`JoinSpec.parse`
+    understands, including complex predicates via name groups.
+    """
+
+    relations: Union[Mapping[str, float], Sequence[tuple[str, float]]]
+    joins: Sequence[Union[JoinSpec, tuple, Mapping]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.relations, Mapping):
+            pairs = list(self.relations.items())
+        else:
+            pairs = [(name, card) for name, card in self.relations]
+        if not pairs:
+            raise ValueError("a QuerySpec needs at least one relation")
+        names = [name for name, _card in pairs]
+        if len(set(names)) != len(names):
+            raise ValueError("relation names must be unique")
+        self._names: list[str] = names
+        self._cardinalities: list[float] = [float(c) for _n, c in pairs]
+        self.joins = [JoinSpec.parse(raw) for raw in self.joins]
+
+    @property
+    def relation_names(self) -> list[str]:
+        return list(self._names)
+
+    @property
+    def cardinalities(self) -> list[float]:
+        return list(self._cardinalities)
+
+    def to_hypergraph(self) -> tuple[Hypergraph, list[float]]:
+        """Compile to ``(Hypergraph, cardinalities)``.
+
+        Join predicate annotations become hyperedge payloads, so
+        EXPLAIN output shows them.
+        """
+        index = {name: i for i, name in enumerate(self._names)}
+
+        def bitmap(group: tuple[str, ...]) -> int:
+            result = 0
+            for name in group:
+                if name not in index:
+                    raise ValueError(
+                        f"join references unknown relation {name!r}; "
+                        f"declared: {self._names}"
+                    )
+                result |= bitset.singleton(index[name])
+            return result
+
+        graph = Hypergraph(
+            n_nodes=len(self._names), node_names=list(self._names)
+        )
+        for join in self.joins:
+            graph.add_edge(
+                Hyperedge(
+                    left=bitmap(join.left),
+                    right=bitmap(join.right),
+                    flex=bitmap(join.flex),
+                    selectivity=join.selectivity,
+                    payload=join.predicate,
+                )
+            )
+        return graph, self.cardinalities
+
+    @classmethod
+    def from_hypergraph(
+        cls, graph: Hypergraph, cardinalities: Sequence[float]
+    ) -> "QuerySpec":
+        """Inverse of :meth:`to_hypergraph` (round-trip safe)."""
+        if len(cardinalities) != graph.n_nodes:
+            raise ValueError("need one cardinality per relation")
+        names = [graph.name_of(i) for i in range(graph.n_nodes)]
+
+        def group(nodes: int) -> tuple[str, ...]:
+            return tuple(
+                names[node] for node in bitset.iter_nodes(nodes)
+            )
+
+        joins = [
+            JoinSpec(
+                left=group(edge.left),
+                right=group(edge.right),
+                selectivity=edge.selectivity,
+                flex=group(edge.flex),
+                predicate=None if edge.payload is None else str(edge.payload),
+            )
+            for edge in graph.edges
+        ]
+        return cls(
+            relations=list(zip(names, (float(c) for c in cardinalities))),
+            joins=joins,
+        )
+
+
+# -- configuration ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OptimizerConfig:
+    """Reusable configuration for :class:`Optimizer`.
+
+    Attributes:
+        algorithm: a registry name (``"dphyp"``, ``"dpccp"``, ...) or
+            ``"auto"`` (default) for capability-aware dispatch.
+        cost_model: cost model for the default plan builders
+            (``None`` = ``C_out``).
+        mode: operator-tree compilation mode, ``"hyperedges"``
+            (Section 5.7, default) or ``"tes-filter"`` (the
+            generate-and-test comparator of Fig. 8a).
+        default_cardinality: base cardinality assumed per relation
+            when a hypergraph is optimized without cardinalities.
+        on_disconnected: policy for disconnected hypergraphs —
+            ``"raise"`` (default) raises
+            :class:`~repro.core.hypergraph.DisconnectedGraphError`,
+            ``"connect"`` auto-applies
+            :meth:`~repro.core.hypergraph.Hypergraph.make_connected`
+            (cross products with selectivity 1), ``"plan-none"``
+            preserves the legacy behaviour of returning a result whose
+            ``plan`` is ``None``.
+        exact_threshold: largest relation count at which ``"auto"``
+            still dispatches to an exact enumerator; beyond it the
+            greedy heuristic is selected.
+        minimize_neighborhoods / memoize_neighborhoods: the DPhyp
+            work-saving knobs (both correctness-neutral, both default
+            on); honoured whenever the resolved algorithm is
+            ``"dphyp"``.
+    """
+
+    algorithm: str = "auto"
+    cost_model: Optional[CostModel] = None
+    mode: str = "hyperedges"
+    default_cardinality: float = 10.0
+    on_disconnected: str = "raise"
+    exact_threshold: int = 14
+    minimize_neighborhoods: bool = True
+    memoize_neighborhoods: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("hyperedges", "tes-filter"):
+            raise ValueError("mode must be 'hyperedges' or 'tes-filter'")
+        if self.on_disconnected not in ("raise", "connect", "plan-none"):
+            raise ValueError(
+                "on_disconnected must be 'raise', 'connect', or 'plan-none'"
+            )
+        if self.exact_threshold < 1:
+            raise ValueError("exact_threshold must be positive")
+        if self.default_cardinality <= 0:
+            raise ValueError("default_cardinality must be positive")
+        if self.algorithm != "auto":
+            get_algorithm(self.algorithm)  # raises on unknown names
+
+
+# -- unified result ---------------------------------------------------------
+
+
+@dataclass
+class OptimizationResult:
+    """Everything a caller wants back from one optimizer run.
+
+    The single result type of every entry point — hypergraph, operator
+    tree, and :class:`QuerySpec` paths alike.  Tree runs additionally
+    populate ``compiled`` (the Section-5 compilation artefacts) and
+    ``mode``.
+    """
+
+    plan: Optional[Plan]
+    stats: SearchStats
+    algorithm: str
+    #: what the caller asked for — differs from ``algorithm`` when
+    #: ``"auto"`` dispatched
+    requested_algorithm: str = ""
+    names: Optional[list[str]] = None
+    graph: Optional[Hypergraph] = None
+    #: :class:`repro.algebra.hyperedges.CompiledQuery` for tree runs
+    compiled: Any = None
+    mode: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.requested_algorithm:
+            self.requested_algorithm = self.algorithm
+
+    @property
+    def cost(self) -> float:
+        if self.plan is None:
+            raise ValueError("query has no cross-product-free plan")
+        return self.plan.cost
+
+    @property
+    def cardinality(self) -> float:
+        if self.plan is None:
+            raise ValueError("query has no cross-product-free plan")
+        return self.plan.cardinality
+
+    @property
+    def relation_names(self) -> Optional[list[str]]:
+        """Relation names in node order, from whichever source has them."""
+        if self.names is not None:
+            return list(self.names)
+        if self.compiled is not None:
+            return list(self.compiled.relation_names)
+        if self.graph is not None:
+            return [self.graph.name_of(i) for i in range(self.graph.n_nodes)]
+        return None
+
+    def explain(self) -> str:
+        """Indented EXPLAIN tree with relation names plumbed through."""
+        from .explain import explain as _explain
+
+        if self.plan is None:
+            raise ValueError("query has no cross-product-free plan")
+        return _explain(self.plan, self.relation_names)
+
+    def explain_dot(self) -> str:
+        """Graphviz ``digraph`` serialization of the plan."""
+        from .explain import explain_dot as _explain_dot
+
+        if self.plan is None:
+            raise ValueError("query has no cross-product-free plan")
+        return _explain_dot(self.plan, self.relation_names)
+
+    def _plan_dict(self, plan: Plan) -> dict:
+        from .explain import payload_text  # local: avoid import cycle
+
+        names = self.relation_names
+        if plan.is_leaf:
+            return {
+                "relation": bitset.format_set(plan.nodes, names)[1:-1],
+                "cardinality": plan.cardinality,
+            }
+        operator = plan.operator if plan.operator is not None else "join"
+        return {
+            "operator": str(operator),
+            "predicates": [
+                text
+                for text in (payload_text(edge.payload) for edge in plan.edges)
+                if text is not None
+            ],
+            "cardinality": plan.cardinality,
+            "cost": plan.cost,
+            "left": self._plan_dict(plan.left),
+            "right": self._plan_dict(plan.right),
+        }
+
+    def to_dict(self) -> dict:
+        """JSON-serializable summary (``json.dumps``-safe)."""
+        plannable = self.plan is not None
+        return {
+            "algorithm": self.algorithm,
+            "requested_algorithm": self.requested_algorithm,
+            "mode": self.mode,
+            "relation_names": self.relation_names,
+            "plannable": plannable,
+            "cost": self.plan.cost if plannable else None,
+            "cardinality": self.plan.cardinality if plannable else None,
+            "plan": self._plan_dict(self.plan) if plannable else None,
+            "stats": self.stats.as_dict(),
+        }
+
+
+# -- the facade -------------------------------------------------------------
+
+
+class Optimizer:
+    """Configured front door to every join-ordering algorithm.
+
+    Construct once, reuse for any number of queries::
+
+        opt = Optimizer()                       # algorithm="auto"
+        opt = Optimizer(algorithm="dphyp")      # kwargs shorthand
+        opt = Optimizer(OptimizerConfig(cost_model=HashJoinModel()))
+
+        result = opt.optimize(graph_or_tree_or_spec)
+        results = opt.optimize_many(queries)
+    """
+
+    def __init__(
+        self, config: Optional[OptimizerConfig] = None, **overrides
+    ) -> None:
+        if config is None:
+            config = OptimizerConfig(**overrides)
+        elif overrides:
+            config = replace(config, **overrides)
+        self.config = config
+
+    # -- public API ------------------------------------------------------
+
+    def optimize(
+        self,
+        query,
+        cardinalities: Optional[Sequence[float]] = None,
+        builder: Optional[PlanBuilder] = None,
+    ) -> OptimizationResult:
+        """Optimize one query of any supported representation.
+
+        Args:
+            query: a :class:`Hypergraph`, an operator tree
+                (:class:`~repro.algebra.optree.TreeNode`), a
+                :class:`QuerySpec`, or a workload
+                :class:`~repro.workloads.generators.Query` bundle.
+            cardinalities: per-relation base cardinalities; hypergraph
+                path only (specs, trees, and workload queries carry
+                their own).
+            builder: a fully custom plan builder (hypergraph path
+                only); overrides ``cardinalities`` and the configured
+                cost model.
+        """
+        from .algebra.optree import TreeNode  # local: avoid import cycle
+
+        if isinstance(query, Hypergraph):
+            return self._optimize_hypergraph(query, cardinalities, builder)
+        if isinstance(query, QuerySpec):
+            if cardinalities is not None or builder is not None:
+                raise ValueError(
+                    "a QuerySpec carries its own cardinalities and builder"
+                )
+            graph, cards = query.to_hypergraph()
+            return self._optimize_hypergraph(graph, cards, None)
+        if isinstance(query, TreeNode):
+            if cardinalities is not None or builder is not None:
+                raise ValueError(
+                    "an operator tree carries its own cardinalities; "
+                    "configure cost_model on OptimizerConfig instead"
+                )
+            return self._optimize_tree(query)
+        if hasattr(query, "graph") and hasattr(query, "cardinalities"):
+            # a repro.workloads.generators.Query bundle (duck-typed)
+            return self._optimize_hypergraph(
+                query.graph,
+                cardinalities if cardinalities is not None
+                else query.cardinalities,
+                builder,
+            )
+        raise TypeError(
+            f"cannot optimize {type(query).__name__}; expected Hypergraph, "
+            "TreeNode, QuerySpec, or a workload Query"
+        )
+
+    def optimize_many(self, queries: Iterable) -> list[OptimizationResult]:
+        """Optimize a batch; results are in input order."""
+        return [self.optimize(query) for query in queries]
+
+    # -- hypergraph path -------------------------------------------------
+
+    def _optimize_hypergraph(
+        self,
+        graph: Hypergraph,
+        cardinalities: Optional[Sequence[float]],
+        builder: Optional[PlanBuilder],
+    ) -> OptimizationResult:
+        config = self.config
+        if not graph.is_connected:
+            if config.on_disconnected == "raise":
+                raise DisconnectedGraphError(
+                    f"the query hypergraph has "
+                    f"{len(graph.connected_components())} connected "
+                    "components and therefore no cross-product-free plan; "
+                    "call Hypergraph.make_connected() first or configure "
+                    "OptimizerConfig(on_disconnected='connect')"
+                )
+            if config.on_disconnected == "connect":
+                graph = graph.make_connected()
+            # "plan-none": legacy behaviour, let the solver return None
+        info = self._resolve(graph, from_tree=False)
+        stats = SearchStats()
+        if builder is None:
+            if cardinalities is None:
+                cardinalities = [config.default_cardinality] * graph.n_nodes
+            builder = JoinPlanBuilder(
+                graph, cardinalities, config.cost_model, stats
+            )
+        plan = self._run(info, graph, builder, stats)
+        return OptimizationResult(
+            plan=plan,
+            stats=stats,
+            algorithm=info.name,
+            requested_algorithm=config.algorithm,
+            graph=graph,
+        )
+
+    # -- operator-tree path ----------------------------------------------
+
+    def _optimize_tree(self, tree) -> OptimizationResult:
+        # Local imports: repro.algebra imports the facade wrappers.
+        from .algebra.hyperedges import compile_tree
+        from .algebra.optree import (
+            normalize_commutative_children,
+            validate_tree,
+        )
+        from .algebra.reorder import OperatorPlanBuilder
+        from .algebra.tes_filter import TesFilterPlanBuilder, compile_tree_ses
+
+        config = self.config
+        validate_tree(tree)
+        normalized = normalize_commutative_children(tree)
+        stats = SearchStats()
+        if config.mode == "hyperedges":
+            compiled = compile_tree(normalized)
+            builder = OperatorPlanBuilder(compiled, config.cost_model, stats)
+        else:
+            compiled, requirements = compile_tree_ses(normalized)
+            builder = TesFilterPlanBuilder(
+                compiled, requirements, config.cost_model, stats
+            )
+        info = self._resolve(compiled.graph, from_tree=True)
+        plan = self._run(info, compiled.graph, builder, stats)
+        return OptimizationResult(
+            plan=plan,
+            stats=stats,
+            algorithm=info.name,
+            requested_algorithm=config.algorithm,
+            compiled=compiled,
+            mode=config.mode,
+        )
+
+    # -- dispatch helpers -------------------------------------------------
+
+    def _resolve(self, graph: Hypergraph, from_tree: bool) -> AlgorithmInfo:
+        """Map the configured algorithm to a registration for ``graph``."""
+        config = self.config
+        if config.algorithm == "auto":
+            return select_auto(
+                graph, config.exact_threshold, from_tree=from_tree
+            )
+        info = get_algorithm(config.algorithm)
+        check_capabilities(info, graph, from_tree=from_tree)
+        return info
+
+    def _run(
+        self,
+        info: AlgorithmInfo,
+        graph: Hypergraph,
+        builder: PlanBuilder,
+        stats: SearchStats,
+    ) -> Optional[Plan]:
+        config = self.config
+        # Keyed on solver identity, not the name: a replacement
+        # registered under "dphyp" must win over the knob shortcut.
+        if info.solver is solve_dphyp and not (
+            config.minimize_neighborhoods and config.memoize_neighborhoods
+        ):
+            return DPhyp(
+                graph,
+                builder,
+                stats,
+                minimize_neighborhoods=config.minimize_neighborhoods,
+                memoize_neighborhoods=config.memoize_neighborhoods,
+            ).run()
+        return info.solver(graph, builder, stats)

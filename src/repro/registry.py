@@ -1,0 +1,292 @@
+"""Capability-aware algorithm registry.
+
+Every join-ordering algorithm the package ships is described by an
+:class:`AlgorithmInfo` record: the solver callable plus the metadata
+the :class:`~repro.optimizer.Optimizer` facade needs to dispatch
+safely — whether the solver handles complex hyperedges, whether it is
+exact, and up to which query size exhaustive enumeration is still a
+sensible default.  ``algorithm="auto"`` is implemented entirely on top
+of this metadata (see :func:`select_auto`), so registering a new
+solver with :func:`register_algorithm` is all it takes to make it
+available to the facade, the legacy wrappers, and the bench harness.
+
+The legacy ``repro.api.ALGORITHMS`` mapping is preserved as a live
+read-only view over this registry (:data:`ALGORITHMS`), so existing
+``ALGORITHMS[name]`` callers keep working and see registered
+extensions immediately.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from .core.dpccp import solve_dpccp
+from .core.dphyp import solve_dphyp
+from .core.dphyp_recursive import solve_dphyp_recursive
+from .core.dpsize import solve_dpsize
+from .core.dpsub import solve_dpsub
+from .core.greedy import solve_greedy
+from .core.hypergraph import Hypergraph
+from .core.topdown import solve_topdown
+
+
+class CapabilityError(ValueError):
+    """An algorithm was asked to run a query it cannot handle.
+
+    Raised at *dispatch* time by the facade (and the legacy wrappers)
+    with a message naming the offending query feature — e.g. the
+    complex hyperedges a simple-graph-only solver like DPccp would
+    otherwise trip over deep inside the enumeration.
+    """
+
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """Metadata record for one registered join-ordering algorithm.
+
+    Attributes:
+        name: registry key, e.g. ``"dphyp"``.
+        solver: callable ``(graph, builder, stats) -> Optional[Plan]``.
+        supports_hypergraphs: True when the solver handles complex
+            (non-binary) hyperedges.  DPccp is the one shipped solver
+            restricted to simple graphs.
+        supports_operator_trees: True when the solver may be used on
+            hypergraphs compiled from operator trees (Section 5).  All
+            shipped solvers qualify subject to the hyperedge
+            restriction above — the flag exists so extensions can opt
+            out (e.g. a solver that assumes commutative inner joins
+            only).
+        exact: True when the solver enumerates the full
+            cross-product-free search space (greedy is the one shipped
+            heuristic).
+        recommended_max_n: largest relation count at which ``auto``
+            dispatch will still pick this algorithm, ``None`` for "no
+            algorithm-specific ceiling".  This is *advisory* — explicit
+            ``algorithm="dpsub"`` etc. always runs.
+        auto_priority: tie-break among eligible candidates during
+            ``auto`` dispatch; highest wins, ``0`` means "never
+            auto-selected" (baselines kept for measurement only).
+        description: one-line summary for ``repr`` and docs.
+    """
+
+    name: str
+    solver: Callable
+    supports_hypergraphs: bool = True
+    supports_operator_trees: bool = True
+    exact: bool = True
+    recommended_max_n: Optional[int] = None
+    auto_priority: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError("algorithm name must be a non-empty string")
+        if self.name == "auto":
+            raise ValueError('"auto" is reserved for dispatch')
+        if not callable(self.solver):
+            raise ValueError(f"solver for {self.name!r} must be callable")
+        if self.recommended_max_n is not None and self.recommended_max_n < 1:
+            raise ValueError("recommended_max_n must be positive")
+        if self.auto_priority < 0:
+            raise ValueError("auto_priority must be non-negative")
+
+
+#: the live registry: name -> AlgorithmInfo, in registration order
+_REGISTRY: dict[str, AlgorithmInfo] = {}
+
+
+def register_algorithm(info: AlgorithmInfo, replace: bool = False) -> AlgorithmInfo:
+    """Register a solver so every entry point can dispatch to it.
+
+    Args:
+        info: the algorithm record; ``info.name`` becomes the registry
+            key usable as ``algorithm=<name>`` everywhere.
+        replace: allow overwriting an existing registration (off by
+            default so typos do not silently shadow built-ins).
+
+    Returns:
+        ``info``, for decorator-style or fluent use.
+    """
+    if not isinstance(info, AlgorithmInfo):
+        raise TypeError("register_algorithm expects an AlgorithmInfo")
+    if info.name in _REGISTRY and not replace:
+        raise ValueError(
+            f"algorithm {info.name!r} is already registered; "
+            "pass replace=True to overwrite"
+        )
+    _REGISTRY[info.name] = info
+    return info
+
+
+def unregister_algorithm(name: str) -> None:
+    """Remove a registration (primarily for tests of extensions)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_algorithm(name: str) -> AlgorithmInfo:
+    """Look up a registration, with the historical error message."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {name!r}; pick one of {sorted(_REGISTRY)}"
+        ) from None
+
+
+def algorithm_names() -> list[str]:
+    """Registered names in registration order."""
+    return list(_REGISTRY)
+
+
+def complex_edge_report(graph: Hypergraph) -> str:
+    """Render the complex (non-simple) edges of ``graph`` for errors."""
+    rendered = [
+        edge.render(graph.node_names)
+        for edge in graph.edges
+        if not edge.is_simple
+    ]
+    return ", ".join(rendered)
+
+
+def check_capabilities(
+    info: AlgorithmInfo, graph: Hypergraph, from_tree: bool = False
+) -> None:
+    """Raise :class:`CapabilityError` when ``info`` cannot run ``graph``.
+
+    This is the dispatch-time guard that turns DPccp's deep
+    mid-enumeration ``ValueError`` into an immediate, friendly error
+    naming the query's complex edges.
+    """
+    if not info.supports_hypergraphs and not graph.is_simple:
+        raise CapabilityError(
+            f"algorithm {info.name!r} handles only simple graphs, but the "
+            f"query has complex hyperedges: {complex_edge_report(graph)}; "
+            'use "dphyp" (or algorithm="auto") for hypergraphs'
+        )
+    if from_tree and not info.supports_operator_trees:
+        raise CapabilityError(
+            f"algorithm {info.name!r} does not support operator-tree "
+            'queries; use "dphyp" (or algorithm="auto")'
+        )
+
+
+def select_auto(
+    graph: Hypergraph,
+    exact_threshold: int,
+    from_tree: bool = False,
+) -> AlgorithmInfo:
+    """Pick an algorithm for ``graph`` from the registry metadata.
+
+    The paper's guidance, expressed as a filter over capabilities:
+
+    * complex hyperedges rule out simple-graph-only solvers (DPccp);
+    * above ``exact_threshold`` relations, exact enumerators are ruled
+      out and the search falls back to the greedy heuristic;
+    * a solver's own ``recommended_max_n`` ceiling is honoured;
+    * among the survivors the highest ``auto_priority`` wins, so DPccp
+      takes small simple graphs and DPhyp everything else exact.
+    """
+    n = graph.n_nodes
+    has_complex = not graph.is_simple
+    best: Optional[AlgorithmInfo] = None
+    fallback: Optional[AlgorithmInfo] = None
+    for info in _REGISTRY.values():
+        if info.auto_priority <= 0:
+            continue
+        if has_complex and not info.supports_hypergraphs:
+            continue
+        if from_tree and not info.supports_operator_trees:
+            continue
+        if info.recommended_max_n is not None and n > info.recommended_max_n:
+            continue
+        if not info.exact:
+            if fallback is None or info.auto_priority > fallback.auto_priority:
+                fallback = info
+            continue
+        if n > exact_threshold:
+            continue
+        if best is None or info.auto_priority > best.auto_priority:
+            best = info
+    chosen = best if best is not None else fallback
+    if chosen is None:
+        raise CapabilityError(
+            f"no registered algorithm can handle this query "
+            f"({n} relations, complex edges: {has_complex})"
+        )
+    return chosen
+
+
+class _AlgorithmsView(Mapping):
+    """Read-only live ``name -> solver`` view over the registry.
+
+    Backwards compatibility for the original bare ``ALGORITHMS`` dict:
+    iteration, membership, and item access behave identically, but the
+    view always reflects :func:`register_algorithm` extensions.
+    """
+
+    def __getitem__(self, name: str) -> Callable:
+        # KeyError (not ValueError) keeps dict semantics for the
+        # Mapping protocol — `in` relies on it.
+        return _REGISTRY[name].solver
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(_REGISTRY)
+
+    def __len__(self) -> int:
+        return len(_REGISTRY)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ALGORITHMS({sorted(_REGISTRY)})"
+
+
+#: Legacy registry view: name -> solver(graph, builder, stats).
+ALGORITHMS = _AlgorithmsView()
+
+
+# -- built-in registrations ------------------------------------------------
+
+register_algorithm(AlgorithmInfo(
+    name="dphyp",
+    solver=solve_dphyp,
+    auto_priority=50,
+    description="iterative DPhyp, the paper's hypergraph enumerator",
+))
+register_algorithm(AlgorithmInfo(
+    name="dphyp-recursive",
+    solver=solve_dphyp_recursive,
+    description="seed-faithful recursive DPhyp, kept as measured baseline",
+))
+register_algorithm(AlgorithmInfo(
+    name="dpccp",
+    solver=solve_dpccp,
+    supports_hypergraphs=False,
+    recommended_max_n=10,
+    auto_priority=80,
+    description="csg-cmp-pair enumeration for simple graphs ([17])",
+))
+register_algorithm(AlgorithmInfo(
+    name="dpsize",
+    solver=solve_dpsize,
+    recommended_max_n=12,
+    description="size-driven DP baseline (System R generalization)",
+))
+register_algorithm(AlgorithmInfo(
+    name="dpsub",
+    solver=solve_dpsub,
+    recommended_max_n=12,
+    description="subset-driven DP baseline",
+))
+register_algorithm(AlgorithmInfo(
+    name="topdown",
+    solver=solve_topdown,
+    description="top-down memoizing partition search",
+))
+register_algorithm(AlgorithmInfo(
+    name="greedy",
+    solver=solve_greedy,
+    exact=False,
+    auto_priority=1,
+    description="GOO-style greedy heuristic, the beyond-threshold fallback",
+))

@@ -164,6 +164,104 @@ class TestRegressionHarness:
         assert "iterative speedup" in capsys.readouterr().out
 
 
+class TestRegressionCompare:
+    def document(self):
+        from repro.bench.regression import run_regression
+
+        return run_regression(max_n=4, repeat=1, label="compare-test")
+
+    def test_identical_documents_are_clean(self):
+        from repro.bench.regression import compare_documents
+
+        document = self.document()
+        assert compare_documents(document, document) == []
+
+    def test_ccp_and_cost_drift_flagged(self):
+        import copy
+
+        from repro.bench.regression import compare_documents
+
+        current = self.document()
+        baseline = copy.deepcopy(current)
+        baseline["workloads"][0]["results"]["dphyp"]["ccp"] += 1
+        baseline["workloads"][1]["results"]["dphyp"]["cost"] *= 2
+        problems = compare_documents(current, baseline)
+        assert any("search space drift" in p for p in problems)
+        assert any("plan drift" in p for p in problems)
+
+    def test_slowdown_uses_normalized_ratio(self):
+        import copy
+
+        from repro.bench.regression import compare_documents
+
+        current = self.document()
+        baseline = copy.deepcopy(current)
+        for entry in current["workloads"]:
+            # dphyp got 2x slower while the recursive reference is
+            # unchanged -> normalized slowdown 2x > tolerance
+            entry["results"]["dphyp"]["ms"] *= 2
+        problems = compare_documents(current, baseline, tolerance=1.3)
+        assert len([p for p in problems if "slower" in p]) == len(
+            current["workloads"]
+        )
+        # a uniformly slower machine (both algorithms 2x) is NOT a
+        # regression: the normalized ratio cancels the hardware
+        hardware = copy.deepcopy(baseline)
+        for entry in hardware["workloads"]:
+            for measurement in entry["results"].values():
+                measurement["ms"] *= 2
+        assert compare_documents(hardware, baseline, tolerance=1.3) == []
+
+    def test_baseline_coverage_loss_flagged(self):
+        import copy
+
+        from repro.bench.regression import compare_documents
+
+        baseline = self.document()
+        current = copy.deepcopy(baseline)
+        current["workloads"] = [w for w in current["workloads"]
+                                if w["workload"] != "star"]
+        del current["workloads"][0]["results"]["dphyp-recursive"]
+        problems = compare_documents(current, baseline)
+        assert any("star" in p and "coverage loss" in p for p in problems)
+        assert any("dphyp-recursive" in p and "coverage loss" in p
+                   for p in problems)
+
+    def test_size_mismatch_reported_not_compared(self):
+        import copy
+
+        from repro.bench.regression import compare_documents
+
+        current = self.document()
+        baseline = copy.deepcopy(current)
+        baseline["workloads"][0]["query"] = "chain-99"
+        problems = compare_documents(current, baseline)
+        assert any("size mismatch" in p for p in problems)
+
+    def test_cli_compare_flag(self, tmp_path, capsys):
+        import json
+
+        from repro.bench.regression import main
+
+        out = tmp_path / "base.json"
+        assert main(["--max-n", "4", "--repeat", "1",
+                     "--out", str(out)]) == 0
+        capsys.readouterr()
+        # comparing a fresh run against itself passes (huge tolerance:
+        # tiny sub-ms runs are timing noise, only the deterministic
+        # ccp/cost guards should decide here)
+        assert main(["--max-n", "4", "--repeat", "1",
+                     "--compare", str(out), "--tolerance", "1e9"]) == 0
+        assert "no regression" in capsys.readouterr().out
+        # ...and a doctored baseline fails with a non-zero exit
+        document = json.loads(out.read_text())
+        document["workloads"][0]["results"]["dphyp"]["ccp"] += 1
+        out.write_text(json.dumps(document))
+        assert main(["--max-n", "4", "--repeat", "1",
+                     "--compare", str(out), "--tolerance", "1e9"]) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+
 class TestReporting:
     def _dummy_result(self):
         from repro.bench.harness import Measurement
