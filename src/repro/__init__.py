@@ -26,11 +26,14 @@ wrappers over the facade.
 """
 
 from .api import ALGORITHMS, OptimizationResult, optimize
+from .cache import PlanCache
 from .explain import explain, explain_dot, plan_summary
 from .optimizer import (
     JoinSpec,
     Optimizer,
     OptimizerConfig,
+    PipelineContext,
+    PipelineStages,
     QuerySpec,
 )
 from .registry import (
@@ -42,6 +45,7 @@ from .registry import (
     unregister_algorithm,
 )
 from .core import (
+    CanonicalForm,
     DisconnectedGraphError,
     Hyperedge,
     Hypergraph,
@@ -65,7 +69,7 @@ from .cost import (
     SortMergeModel,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ALGORITHMS",
@@ -73,8 +77,12 @@ __all__ = [
     "optimize",
     "Optimizer",
     "OptimizerConfig",
+    "PipelineContext",
+    "PipelineStages",
+    "PlanCache",
     "QuerySpec",
     "JoinSpec",
+    "CanonicalForm",
     "AlgorithmInfo",
     "CapabilityError",
     "DisconnectedGraphError",

@@ -8,6 +8,7 @@ Usage::
     REPRO_BENCH_FULL=1 python -m repro.bench run fig6-star16   # paper size
     python -m repro.bench run fig7-regular --markdown
     python -m repro.bench regression --out BENCH_new.json
+    python -m repro.bench throughput --out BENCH_new.json --min-speedup 5
 """
 
 from __future__ import annotations
@@ -28,6 +29,10 @@ def main(argv=None) -> int:
         from .regression import main as regression_main
 
         return regression_main(argv[1:])
+    if argv and argv[0] == "throughput":
+        from .throughput import main as throughput_main
+
+        return throughput_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -50,6 +55,11 @@ def main(argv=None) -> int:
     sub.add_parser(
         "regression",
         help="time the chain/cycle/star hot path, emit BENCH_*.json",
+    )
+    sub.add_parser(
+        "throughput",
+        help="plan-cache serving throughput (hot vs cold q/s), "
+             "emit BENCH_*.json",
     )
     args = parser.parse_args(argv)
 

@@ -1,0 +1,302 @@
+"""Serving-throughput harness: queries/sec hot vs cold plan cache.
+
+Where :mod:`repro.bench.regression` tracks the single-query hot path,
+this harness measures the *serving* story of the plan-cache layer: a
+repeated workload (relabeled isomorphic copies of chain/cycle/star/grid
+queries, the ROADMAP's "millions of users asking the same shapes"
+scenario) is pushed through ``Optimizer.optimize_many`` three times —
+
+* **cold**: cache disabled, every query enumerates from scratch (the
+  pre-cache behaviour);
+* **warm**: cache on, first encounter — one enumeration + store, the
+  isomorphic rest already served by replay;
+* **hot**: the same batch again, every query served by canonical
+  fingerprint lookup + recipe replay.
+
+The emitted JSON (``BENCH_pr3_plan_cache.json`` is the committed
+baseline) records queries/sec for all three passes, the speedup, and the
+cache counters, plus a mixed *drifting* workload where statistics
+changes force a controlled miss rate.  The CI throughput-smoke job
+runs this at tiny sizes and fails when hot does not beat cold by
+``--min-speedup``.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench throughput --out BENCH_new.json
+    PYTHONPATH=src python -m repro.bench throughput --max-n 8 --copies 10 \
+        --min-speedup 3
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import sys
+import time
+from typing import Optional
+
+from ..optimizer import Optimizer, OptimizerConfig
+from ..workloads import generators
+from ..workloads.repeated import drifting_workload, repeated_workload
+from .harness import scaled
+
+#: bump when the JSON layout changes incompatibly
+SCHEMA_VERSION = 1
+
+#: top-level keys every throughput document must carry
+REQUIRED_KEYS = ("schema_version", "label", "python", "workloads")
+
+#: per-workload keys
+REQUIRED_WORKLOAD_KEYS = (
+    "workload",
+    "n_relations",
+    "n_queries",
+    "cold_qps",
+    "warm_qps",
+    "hot_qps",
+    "speedup",
+    "hot_hit_rate",
+    "cache",
+)
+
+
+def default_suite(max_n: Optional[int] = None) -> list:
+    """Base shapes for the repeated-workload suite at scaled sizes."""
+
+    def clamp(n: int, floor: int) -> int:
+        if max_n is None:
+            return n
+        return max(floor, min(n, max_n))
+
+    chain_n = clamp(scaled(12, 12), 2)
+    cycle_n = clamp(scaled(10, 10), 3)
+    star_satellites = clamp(scaled(9, 9), 1)
+    grid_cols = clamp(scaled(4, 4), 2)
+    return [
+        ("chain", generators.chain(chain_n, seed=11)),
+        ("cycle", generators.cycle(cycle_n, seed=12)),
+        ("star", generators.star(star_satellites, seed=13)),
+        ("grid", generators.grid(min(3, grid_cols), grid_cols, seed=15)),
+    ]
+
+
+def _timed_batch(
+    optimizer: Optimizer,
+    workload,
+    workers: Optional[int],
+    cache: Optional[bool] = None,
+):
+    """Run one batch, returning (seconds, results)."""
+    start = time.perf_counter()
+    results = optimizer.optimize_many(
+        workload, parallel=workers, cache=cache
+    )
+    return time.perf_counter() - start, results
+
+
+def run_throughput(
+    max_n: Optional[int] = None,
+    copies: int = 24,
+    workers: Optional[int] = None,
+    label: str = "",
+) -> dict:
+    """Measure the repeated-workload suite; return the JSON document."""
+    if copies < 2:
+        raise ValueError("need at least two copies to have a hot pass")
+    workloads = []
+    for shape, base in default_suite(max_n):
+        batch = repeated_workload(base, copies, seed=100)
+        optimizer = Optimizer(OptimizerConfig(cache="on"))
+        cold_s, cold_results = _timed_batch(
+            optimizer, batch, workers, cache=False
+        )
+        warm_s, _warm_results = _timed_batch(optimizer, batch, workers)
+        hot_s, hot_results = _timed_batch(optimizer, batch, workers)
+        counters = optimizer.plan_cache.counters()
+        hot_events = [
+            result.stats.extra["plan_cache"]["event"]
+            for result in hot_results
+        ]
+        # Cross-check: hot pass must agree with the cold pass, cost-wise
+        # (up to float reassociation across relabeled node orders).
+        drift = [
+            (cold.cost, hot.cost)
+            for cold, hot in zip(cold_results, hot_results)
+            if not math.isclose(cold.cost, hot.cost, rel_tol=1e-9)
+        ]
+        if drift:
+            raise AssertionError(
+                f"{shape}: hot-pass costs diverged from cold pass: {drift[:3]}"
+            )
+        workloads.append({
+            "workload": shape,
+            "query": base.description,
+            "n_relations": base.n_relations,
+            "n_queries": len(batch),
+            "cold_s": round(cold_s, 6),
+            "warm_s": round(warm_s, 6),
+            "hot_s": round(hot_s, 6),
+            "cold_qps": round(len(batch) / cold_s, 2) if cold_s else None,
+            "warm_qps": round(len(batch) / warm_s, 2) if warm_s else None,
+            "hot_qps": round(len(batch) / hot_s, 2) if hot_s else None,
+            "speedup": round(cold_s / hot_s, 3) if hot_s else None,
+            "hot_hit_rate": round(
+                hot_events.count("hit") / len(hot_events), 4
+            ),
+            "optimal_cost": cold_results[0].cost,
+            "cache": counters,
+        })
+    # Mixed workload: statistics drift forces a controlled miss rate.
+    base = default_suite(max_n)[0][1]
+    batch = drifting_workload(base, copies, seed=200, distinct_stats=4)
+    optimizer = Optimizer(OptimizerConfig(cache="on"))
+    warm_s, _ = _timed_batch(optimizer, batch, workers)
+    drift_s, drift_results = _timed_batch(optimizer, batch, workers)
+    drift_events = [
+        result.stats.extra["plan_cache"]["event"]
+        for result in drift_results
+    ]
+    drifting = {
+        "workload": "chain-drifting-stats",
+        "query": base.description,
+        "n_relations": base.n_relations,
+        "n_queries": len(batch),
+        "distinct_stats": 4,
+        "warm_s": round(warm_s, 6),
+        "hot_s": round(drift_s, 6),
+        "hot_qps": round(len(batch) / drift_s, 2) if drift_s else None,
+        "hot_hit_rate": round(
+            drift_events.count("hit") / len(drift_events), 4
+        ),
+        "cache": optimizer.plan_cache.counters(),
+    }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "label": label,
+        "created_unix": round(time.time(), 1),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "copies": copies,
+        "workers": workers,
+        "workloads": workloads,
+        "drifting": drifting,
+        "min_speedup": round(
+            min(entry["speedup"] for entry in workloads), 3
+        ),
+    }
+
+
+def validate_result(document: dict) -> None:
+    """Raise ``ValueError`` when ``document`` violates the schema."""
+    for key in REQUIRED_KEYS:
+        if key not in document:
+            raise ValueError(f"throughput JSON missing key {key!r}")
+    if document["schema_version"] != SCHEMA_VERSION:
+        raise ValueError(
+            f"schema_version {document['schema_version']!r} != "
+            f"{SCHEMA_VERSION}"
+        )
+    if not document["workloads"]:
+        raise ValueError("throughput JSON has no workloads")
+    for entry in document["workloads"]:
+        for key in REQUIRED_WORKLOAD_KEYS:
+            if key not in entry:
+                raise ValueError(
+                    f"workload {entry.get('workload')!r} missing {key!r}"
+                )
+
+
+def render_summary(document: dict) -> str:
+    """Small aligned text table for terminal output."""
+    lines = [
+        f"plan-cache throughput (schema v{document['schema_version']}, "
+        f"python {document['python']}, copies={document['copies']})"
+    ]
+    for entry in document["workloads"]:
+        lines.append(
+            f"  {entry['query']:>12}  cold={entry['cold_qps']:>9} q/s  "
+            f"warm={entry['warm_qps']:>10} q/s  "
+            f"hot={entry['hot_qps']:>10} q/s  "
+            f"speedup={entry['speedup']:.1f}x  "
+            f"hit_rate={entry['hot_hit_rate']:.0%}"
+        )
+    drifting = document.get("drifting")
+    if drifting:
+        lines.append(
+            f"  {drifting['workload']:>12}  hot={drifting['hot_qps']:>10} "
+            f"q/s  hit_rate={drifting['hot_hit_rate']:.0%} "
+            f"(stats drift across {drifting['distinct_stats']} versions)"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    """CLI for the ``throughput`` bench subcommand."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="bench_throughput",
+        description=(
+            "Measure plan-cache serving throughput (queries/sec hot vs "
+            "cold) on repeated isomorphic workloads"
+        ),
+    )
+    parser.add_argument(
+        "--out", help="write the JSON document to this path", default=None
+    )
+    parser.add_argument(
+        "--max-n", type=int, default=None,
+        help="clamp every workload size (CI smoke uses tiny values)",
+    )
+    parser.add_argument(
+        "--copies", type=int, default=24,
+        help="queries per repeated batch (default 24)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="thread-pool width for optimize_many (default serial)",
+    )
+    parser.add_argument(
+        "--label", default="", help="free-form label stored in the document"
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="fail (exit 1) when hot/cold speedup of any workload is "
+             "below this factor (the CI gate)",
+    )
+    args = parser.parse_args(argv)
+
+    document = run_throughput(
+        max_n=args.max_n,
+        copies=args.copies,
+        workers=args.workers,
+        label=args.label,
+    )
+    validate_result(document)
+    print(render_summary(document))
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.min_speedup is not None:
+        slow = [
+            entry for entry in document["workloads"]
+            if entry["speedup"] is None or entry["speedup"] < args.min_speedup
+        ]
+        if slow:
+            for entry in slow:
+                print(
+                    f"THROUGHPUT REGRESSION: {entry['workload']}: hot pass "
+                    f"only {entry['speedup']}x faster than cold "
+                    f"(required {args.min_speedup}x)",
+                    file=sys.stderr,
+                )
+            return 1
+        print(
+            f"hot cache beats cold by >= {args.min_speedup}x on every "
+            "workload"
+        )
+    return 0

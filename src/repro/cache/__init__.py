@@ -1,0 +1,31 @@
+"""Plan-cache serving layer.
+
+Turns the optimizer from "re-plan every call" into a serving system
+for repeated workloads: queries are canonically fingerprinted
+(:mod:`repro.cache.keys`), optimal join orders are stored as compact
+canonical-space recipes (:mod:`repro.cache.recipe`), and a size-bounded
+epoch-aware LRU (:mod:`repro.cache.plan_cache`) serves isomorphic
+repeats by replaying the recipe through the requesting query's own
+plan builder.
+
+The :class:`~repro.optimizer.Optimizer` pipeline wires these together;
+this package has no dependency on the facade and can be reused by
+other serving layers (e.g. a future cross-process cache).
+"""
+
+from .keys import KEY_VERSION, CacheKeyInfo, build_cache_key, structure_bucket
+from .plan_cache import DEFAULT_CAPACITY, CacheEntry, PlanCache
+from .recipe import PlanRecipe, plan_recipe, replay_recipe
+
+__all__ = [
+    "KEY_VERSION",
+    "CacheKeyInfo",
+    "build_cache_key",
+    "structure_bucket",
+    "DEFAULT_CAPACITY",
+    "CacheEntry",
+    "PlanCache",
+    "PlanRecipe",
+    "plan_recipe",
+    "replay_recipe",
+]

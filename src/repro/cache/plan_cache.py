@@ -1,0 +1,214 @@
+"""The plan cache: a size-bounded, epoch-aware LRU over plan recipes.
+
+Keys come from :mod:`repro.cache.keys` (canonical annotated
+fingerprint + cost-model key + config key); values are the compact
+:class:`~repro.cache.recipe.PlanRecipe` join trees in canonical node
+space, replayed through the requesting query's own plan builder on a
+hit.  The cache never stores :class:`~repro.core.plans.Plan` objects
+directly — replay is what lets one entry serve every isomorphic
+relabeling of a query with correct relation names, payloads, and
+statistics.
+
+Concurrency: all mutating operations take an internal lock, so a
+single :class:`PlanCache` can back a thread-pool
+``Optimizer.optimize_many`` batch (and be shared across optimizers).
+
+Statistics epochs: callers that refresh their catalog statistics call
+:meth:`PlanCache.bump_epoch`.  Entries written under an older epoch
+are treated as *stale* on lookup: the query re-optimizes and the entry
+is refreshed (counted in ``revalidations``) instead of being served.
+Because the cache key already includes the statistics signature, the
+epoch is a safety net for statistics sources the signature cannot see
+(e.g. a mutated ``Catalog`` feeding selectivities upstream of the
+hypergraph), not the primary consistency mechanism.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Optional
+
+#: default number of entries an :class:`Optimizer`-owned cache keeps
+DEFAULT_CAPACITY = 512
+
+
+@dataclass
+class CacheEntry:
+    """One cached plan: recipe + bookkeeping."""
+
+    recipe: Any
+    epoch: int
+    #: structural bucket (isomorphism-invariant digest) for targeted
+    #: invalidation and introspection; not part of correctness
+    structure: Optional[str] = None
+    #: cost of the plan when it was first computed (diagnostics only)
+    cost: Optional[float] = None
+
+
+class PlanCache:
+    """Thread-safe LRU cache of plan recipes.
+
+    Counters (all monotonically increasing, readable without a lock):
+
+    * ``hits`` — lookups served from a fresh entry;
+    * ``misses`` — lookups with no entry at all;
+    * ``revalidations`` — lookups that found an entry from an older
+      statistics epoch (the caller recomputes and refreshes);
+    * ``evictions`` — entries dropped by the LRU bound;
+    * ``stores`` — entries written (insert or refresh).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be at least 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Any, CacheEntry]" = OrderedDict()
+        self._epoch = 0
+        self.hits = 0
+        self.misses = 0
+        self.revalidations = 0
+        self.evictions = 0
+        self.stores = 0
+        self.replay_failures = 0
+
+    # -- core operations -------------------------------------------------
+
+    def probe(self, key: Any) -> tuple[Optional[CacheEntry], str]:
+        """Look up ``key``; return ``(entry_or_None, status)``.
+
+        ``status`` is ``"hit"`` (fresh entry, returned), ``"stale"``
+        (entry from an older statistics epoch — counted as a
+        revalidation; the caller recomputes and :meth:`store` refreshes
+        it), or ``"miss"``.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None, "miss"
+            if entry.epoch != self._epoch:
+                self.revalidations += 1
+                return None, "stale"
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry, "hit"
+
+    def lookup(self, key: Any) -> Optional[CacheEntry]:
+        """Return the fresh entry for ``key``, or ``None``.
+
+        Convenience wrapper over :meth:`probe` for callers that do not
+        care about the stale/miss distinction.
+        """
+        entry, _status = self.probe(key)
+        return entry
+
+    def store(
+        self,
+        key: Any,
+        recipe: Any,
+        structure: Optional[str] = None,
+        cost: Optional[float] = None,
+    ) -> None:
+        """Insert or refresh an entry, evicting LRU entries if needed."""
+        with self._lock:
+            self._entries[key] = CacheEntry(
+                recipe=recipe,
+                epoch=self._epoch,
+                structure=structure,
+                cost=cost,
+            )
+            self._entries.move_to_end(key)
+            self.stores += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def note_replay_failure(self, key: Any) -> None:
+        """Reclassify a just-served hit whose recipe failed to replay.
+
+        The optimistic ``hits`` increment from :meth:`probe` is undone
+        (the query re-enumerates, so it behaves like a miss), the
+        failure is counted, and the unreplayable entry is dropped so it
+        cannot fail again — the recompute will store a fresh one.
+        """
+        with self._lock:
+            self.hits -= 1
+            self.misses += 1
+            self.replay_failures += 1
+            self._entries.pop(key, None)
+
+    # -- invalidation ----------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    def bump_epoch(self) -> int:
+        """Mark every current entry stale (statistics changed).
+
+        Entries are *revalidated* lazily — the next lookup recomputes
+        and refreshes them — rather than dropped, so a hot working set
+        keeps its LRU position across a statistics refresh.
+        """
+        with self._lock:
+            self._epoch += 1
+            return self._epoch
+
+    def invalidate_structure(self, structure: str) -> int:
+        """Drop every entry recorded under one structural bucket."""
+        with self._lock:
+            doomed = [
+                key for key, entry in self._entries.items()
+                if entry.structure == structure
+            ]
+            for key in doomed:
+                del self._entries[key]
+            return len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    # -- introspection ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def structures(self) -> dict[str, int]:
+        """Entry count per structural bucket (diagnostics)."""
+        with self._lock:
+            counts: dict[str, int] = {}
+            for entry in self._entries.values():
+                if entry.structure is not None:
+                    counts[entry.structure] = (
+                        counts.get(entry.structure, 0) + 1
+                    )
+            return counts
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses + self.revalidations
+        return self.hits / total if total else 0.0
+
+    def counters(self) -> dict:
+        """Snapshot of the counters (JSON-friendly)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "revalidations": self.revalidations,
+            "evictions": self.evictions,
+            "stores": self.stores,
+            "replay_failures": self.replay_failures,
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "epoch": self._epoch,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"PlanCache(size={len(self._entries)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,6 +1,7 @@
 """Core join-enumeration machinery: hypergraphs, DPhyp, and baselines."""
 
 from .bitset import NodeSet
+from .canonical import CanonicalForm, canonical_form
 from .dpccp import DPccp, solve_dpccp
 from .dphyp import DPhyp, solve_dphyp
 from .dphyp_recursive import DPhypRecursive, solve_dphyp_recursive
@@ -12,6 +13,7 @@ from .hypergraph import (
     DisconnectedGraphError,
     Hyperedge,
     Hypergraph,
+    payload_token,
     simple_edge,
 )
 from .neighborhood import NeighborhoodIndex
@@ -21,6 +23,9 @@ from .topdown import TopDownMemo, solve_topdown
 
 __all__ = [
     "NodeSet",
+    "CanonicalForm",
+    "canonical_form",
+    "payload_token",
     "DPccp",
     "solve_dpccp",
     "DPhyp",

@@ -163,6 +163,22 @@ def full_set(n: int) -> NodeSet:
     return (1 << n) - 1
 
 
+def permute(s: NodeSet, perm) -> NodeSet:
+    """Map a node set through a permutation ``old index -> new index``.
+
+    Used by the plan-cache layer to translate bitmaps between a query's
+    own node order and the shared canonical labeling (and by the
+    relabeled-workload generators).  ``perm`` is any sequence with
+    ``perm[old] == new``.
+    """
+    result = 0
+    while s:
+        low = s & -s
+        result |= 1 << perm[low.bit_length() - 1]
+        s ^= low
+    return result
+
+
 def to_sorted_tuple(s: NodeSet) -> tuple[int, ...]:
     """Return the node indices of ``s`` as an ascending tuple."""
     return tuple(iter_nodes(s))

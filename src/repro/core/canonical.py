@@ -1,0 +1,304 @@
+"""Canonical forms for query hypergraphs.
+
+The plan-cache serving layer needs two notions of query identity:
+
+* an **order-insensitive structural hash** — the same hypergraph built
+  with its edges appended in a different order (or with the two sides
+  of a hyperedge swapped) must fingerprint identically; and
+* a **name-independent canonical form** — two hypergraphs that are
+  relabelings of one another (isomorphic, including any node/edge
+  annotations such as cardinalities and selectivities) must map to the
+  *same* canonical encoding, together with the permutation that maps
+  each input's node indices onto the shared canonical labeling.  This
+  is what lets isomorphic queries share a single plan-cache entry.
+
+The canonical form is computed with the textbook
+individualization-refinement scheme (McKay-style, scaled down):
+
+1. **Color refinement** — nodes start from caller-provided color
+   tokens (e.g. cardinalities) and are iteratively split by the
+   multiset of colors reachable over their incident hyperedges until
+   the partition stabilizes.
+2. **Individualization** — when refinement leaves a color class with
+   more than one node (a symmetry, e.g. the rotations of a cycle
+   query), each member is tentatively individualized, refinement
+   re-runs, and the branch whose final encoding is lexicographically
+   smallest wins.  Ties between branches produce the *same* encoding
+   (they correspond to automorphisms), so the minimum is well defined.
+
+Worst-case individualization is exponential (uniformly annotated
+cliques), so the search carries a **budget**; when it is exhausted the
+caller gets a deterministic *non*-canonical fallback built from the
+input's own index order.  The fallback still dedupes repeats of the
+same graph object/layout — only cross-labeling sharing is lost — and
+the ``canonical`` flag records which case occurred.
+
+Nothing in this module mutates the graph; it operates on the plain
+``(n_nodes, [(left, right, flex)], colors)`` description handed over by
+:meth:`repro.core.hypergraph.Hypergraph.canonical_form`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from . import bitset
+from .bitset import NodeSet
+
+#: default number of individualization branches explored before the
+#: search falls back to the input's index order
+DEFAULT_BUDGET = 2048
+
+
+class _BudgetExceeded(Exception):
+    """Internal: individualization search ran out of branches."""
+
+
+@dataclass(frozen=True)
+class CanonicalForm:
+    """Result of canonicalizing one (annotated) hypergraph.
+
+    Attributes:
+        digest: hex SHA-256 of the canonical encoding.  Equal for two
+            inputs iff they are isomorphic as annotated hypergraphs
+            (when ``canonical`` is True for both).
+        permutation: tuple mapping *original node index -> canonical
+            rank*.  Applying it to this input reproduces the shared
+            canonical labeling.
+        canonical: False when the individualization budget ran out and
+            the deterministic index-order fallback was used; such
+            digests still match for byte-identical inputs but not
+            across relabelings.
+    """
+
+    digest: str
+    permutation: tuple[int, ...]
+    canonical: bool
+
+    @property
+    def inverse(self) -> tuple[int, ...]:
+        """Canonical rank -> original node index."""
+        inverse = [0] * len(self.permutation)
+        for node, rank in enumerate(self.permutation):
+            inverse[rank] = node
+        return tuple(inverse)
+
+
+def _token_table(tokens: Sequence[Any]) -> tuple[dict, tuple]:
+    """Map arbitrary annotation tokens to dense, ordered ranks.
+
+    Tokens only need a deterministic ``repr``; they are ordered by
+    ``(type name, repr)`` so mixed types never hit a ``TypeError``
+    during sorting, and the sorted table itself becomes part of the
+    encoding (so the token *values* are fingerprinted, not just their
+    ranks).
+    """
+    keyed = {(type(t).__name__, repr(t)) for t in tokens}
+    table = tuple(sorted(keyed))
+    ranks = {key: rank for rank, key in enumerate(table)}
+    return ranks, table
+
+
+def _token_rank(ranks: dict, token: Any) -> int:
+    return ranks[(type(token).__name__, repr(token))]
+
+
+def _refine(
+    n: int,
+    colors: list[int],
+    edges: Sequence[tuple[NodeSet, NodeSet, NodeSet]],
+    edge_ranks: Sequence[int],
+    incidence: Sequence[Sequence[int]],
+) -> list[int]:
+    """Stable color refinement; returns dense ranks per node."""
+
+    def side_colors(s: NodeSet) -> tuple[int, ...]:
+        return tuple(sorted(colors[u] for u in bitset.iter_nodes(s)))
+
+    n_classes = len(set(colors))
+    while True:
+        signatures = []
+        for v in range(n):
+            mask = 1 << v
+            parts = []
+            for position in incidence[v]:
+                left, right, flex = edges[position]
+                rank = edge_ranks[position]
+                if mask & left:
+                    parts.append((
+                        rank, 0,
+                        side_colors(left), side_colors(right),
+                        side_colors(flex),
+                    ))
+                elif mask & right:
+                    parts.append((
+                        rank, 0,
+                        side_colors(right), side_colors(left),
+                        side_colors(flex),
+                    ))
+                else:
+                    parts.append((
+                        rank, 1,
+                        tuple(sorted((side_colors(left),
+                                      side_colors(right)))),
+                        side_colors(flex),
+                    ))
+            signatures.append((colors[v], tuple(sorted(parts))))
+        order = {sig: rank for rank, sig in enumerate(sorted(set(signatures)))}
+        colors = [order[sig] for sig in signatures]
+        new_classes = len(set(colors))
+        if new_classes == n_classes:
+            return colors
+        n_classes = new_classes
+
+
+def _encode(
+    n: int,
+    perm: Sequence[int],
+    node_ranks: Sequence[int],
+    edges: Sequence[tuple[NodeSet, NodeSet, NodeSet]],
+    edge_ranks: Sequence[int],
+) -> tuple:
+    """Encoding of the graph under ``perm`` (original -> rank).
+
+    Order-insensitive over the edge list and over each hyperedge's
+    left/right side order; the annotation token ranks ride along so
+    annotated isomorphism is what equality means.
+    """
+
+    def mapped(s: NodeSet) -> tuple[int, ...]:
+        return tuple(sorted(perm[u] for u in bitset.iter_nodes(s)))
+
+    inverse = [0] * n
+    for node, rank in enumerate(perm):
+        inverse[rank] = node
+    node_part = tuple(node_ranks[inverse[rank]] for rank in range(n))
+    edge_part = tuple(sorted(
+        (
+            tuple(sorted((mapped(left), mapped(right)))),
+            mapped(flex),
+            edge_ranks[position],
+        )
+        for position, (left, right, flex) in enumerate(edges)
+    ))
+    return (n, node_part, edge_part)
+
+
+def _search(
+    n: int,
+    colors: list[int],
+    edges: Sequence[tuple[NodeSet, NodeSet, NodeSet]],
+    edge_ranks: Sequence[int],
+    node_ranks: Sequence[int],
+    incidence: Sequence[Sequence[int]],
+    budget: list[int],
+) -> tuple[tuple, tuple[int, ...]]:
+    """Individualization-refinement: minimal encoding + its permutation."""
+    colors = _refine(n, colors, edges, edge_ranks, incidence)
+    classes: dict[int, list[int]] = {}
+    for v, color in enumerate(colors):
+        classes.setdefault(color, []).append(v)
+    ambiguous = [members for members in classes.values() if len(members) > 1]
+    if not ambiguous:
+        # discrete partition: the refined colors are the permutation
+        perm = tuple(colors)
+        return _encode(n, perm, node_ranks, edges, edge_ranks), perm
+    target = min(ambiguous, key=lambda members: colors[members[0]])
+    best: Optional[tuple[tuple, tuple[int, ...]]] = None
+    for v in target:
+        budget[0] -= 1
+        if budget[0] < 0:
+            raise _BudgetExceeded
+        child = [(color, 1) for color in colors]
+        child[v] = (colors[v], 0)
+        order = {pair: rank for rank, pair in enumerate(sorted(set(child)))}
+        candidate = _search(
+            n, [order[pair] for pair in child],
+            edges, edge_ranks, node_ranks, incidence, budget,
+        )
+        if best is None or candidate[0] < best[0]:
+            best = candidate
+    assert best is not None
+    return best
+
+
+def index_order_encoding(
+    n_nodes: int,
+    edges: Sequence[tuple[NodeSet, NodeSet, NodeSet]],
+    edge_colors: Sequence[Any],
+) -> tuple[tuple, tuple]:
+    """Encoding of the graph under its own index order.
+
+    The non-canonical counterpart of :func:`canonical_form`: node
+    identity is the input index, but the encoding is still insensitive
+    to edge-list order and per-edge side order (one source of truth —
+    :func:`_encode` — shared with the canonical search).  Returns
+    ``(encoding, edge_token_table)``; used by the name-sensitive
+    fingerprint mode.
+    """
+    ranks_map, table = _token_table(edge_colors)
+    edge_ranks = [_token_rank(ranks_map, token) for token in edge_colors]
+    encoding = _encode(
+        n_nodes, tuple(range(n_nodes)), [0] * n_nodes, edges, edge_ranks
+    )
+    return encoding, table
+
+
+def canonical_form(
+    n_nodes: int,
+    edges: Sequence[tuple[NodeSet, NodeSet, NodeSet]],
+    node_colors: Optional[Sequence[Any]] = None,
+    edge_colors: Optional[Sequence[Any]] = None,
+    budget: int = DEFAULT_BUDGET,
+) -> CanonicalForm:
+    """Canonicalize an annotated hypergraph.
+
+    Args:
+        n_nodes: number of nodes (indices ``0 .. n_nodes-1``).
+        edges: one ``(left, right, flex)`` bitmap triple per hyperedge.
+        node_colors: optional annotation token per node (e.g. base
+            cardinality); nodes with different tokens are never mapped
+            onto each other.
+        edge_colors: optional annotation token per edge (e.g.
+            selectivity); rides into the encoding the same way.
+        budget: individualization branches to explore before falling
+            back to the deterministic index-order (non-canonical) form.
+    """
+    node_tokens = (
+        list(node_colors) if node_colors is not None else [0] * n_nodes
+    )
+    edge_tokens = (
+        list(edge_colors) if edge_colors is not None else [0] * len(edges)
+    )
+    if len(node_tokens) != n_nodes:
+        raise ValueError("need one node color per node")
+    if len(edge_tokens) != len(edges):
+        raise ValueError("need one edge color per edge")
+
+    node_rank_map, node_table = _token_table(node_tokens)
+    edge_rank_map, edge_table = _token_table(edge_tokens)
+    node_ranks = [_token_rank(node_rank_map, t) for t in node_tokens]
+    edge_ranks = [_token_rank(edge_rank_map, t) for t in edge_tokens]
+    incidence: list[list[int]] = [[] for _ in range(n_nodes)]
+    for position, (left, right, flex) in enumerate(edges):
+        for v in bitset.iter_nodes(left | right | flex):
+            incidence[v].append(position)
+
+    try:
+        encoding, perm = _search(
+            n_nodes, list(node_ranks), edges, edge_ranks, node_ranks,
+            incidence, [budget],
+        )
+        canonical = True
+    except _BudgetExceeded:
+        perm = tuple(range(n_nodes))
+        encoding = _encode(n_nodes, perm, node_ranks, edges, edge_ranks)
+        canonical = False
+
+    payload = repr((canonical, node_table, edge_table, encoding))
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    return CanonicalForm(
+        digest=digest, permutation=tuple(perm), canonical=canonical
+    )

@@ -117,6 +117,23 @@ class Hyperedge:
         return text + ")"
 
 
+def payload_token(payload: Any) -> Optional[str]:
+    """Stable string token identifying a hyperedge payload.
+
+    Used by the fingerprint layer: the enumeration core never looks
+    inside payloads, but operator-derived edges (Section 5) are *not*
+    interchangeable with plain join edges, so the payload's stable
+    rendering participates in structural identity.  ``None`` stays
+    ``None``; strings and the algebra's dataclass payloads
+    (``EdgeInfo``, predicates, operators) all render deterministically.
+    """
+    if payload is None:
+        return None
+    if isinstance(payload, str):
+        return f"str:{payload}"
+    return f"{type(payload).__name__}:{payload}"
+
+
 def simple_edge(
     a: int,
     b: int,
@@ -233,8 +250,31 @@ class Hypergraph:
         return all(edge.is_simple for edge in self.edges)
 
     def edges_within(self, s: NodeSet) -> list[Hyperedge]:
-        """Edges of the node-induced subgraph on ``s`` (Definition 2)."""
-        return [edge for edge in self.edges if edge.spans(s)]
+        """Edges of the node-induced subgraph on ``s`` (Definition 2).
+
+        Answered from the lazy per-node edge index rather than a scan
+        of ``self.edges``: a simple edge lies inside ``s`` iff, probing
+        from either endpoint in ``s``, its other endpoint is also in
+        ``s``; only complex edges need the general ``spans`` test.  The
+        result preserves ``edges``-list order.
+        """
+        if s == 0:
+            return []
+        _key, _adj, simple_incident, complex_edges = self._edge_index()
+        found: dict[int, Hyperedge] = {}
+        remaining = s
+        while remaining:
+            low = remaining & -remaining
+            for other_side, position, edge in simple_incident[
+                low.bit_length() - 1
+            ]:
+                if other_side & s:
+                    found[position] = edge
+            remaining ^= low
+        for position, edge in complex_edges:
+            if edge.spans(s):
+                found[position] = edge
+        return [edge for _position, edge in sorted(found.items())]
 
     def connecting_edges(self, s1: NodeSet, s2: NodeSet) -> list[Hyperedge]:
         """All edges that connect disjoint hypernodes ``s1`` and ``s2``.
@@ -384,6 +424,66 @@ class Hypergraph:
             edges=self.edges + extra,
             node_names=self.node_names,
         )
+
+    # -- canonical identity -----------------------------------------------
+
+    def canonical_form(
+        self,
+        node_colors=None,
+        edge_colors=None,
+        budget: Optional[int] = None,
+    ):
+        """Canonicalize this (optionally annotated) hypergraph.
+
+        Returns a :class:`repro.core.canonical.CanonicalForm` — the
+        digest shared by every isomorphic relabeling plus the
+        permutation mapping this graph's node indices onto the shared
+        canonical labeling.  ``node_colors`` / ``edge_colors`` attach
+        annotation tokens (the plan cache passes base cardinalities and
+        selectivities) so "isomorphic" means *annotated* isomorphic.
+        """
+        from .canonical import DEFAULT_BUDGET, canonical_form
+
+        return canonical_form(
+            self.n_nodes,
+            [(edge.left, edge.right, edge.flex) for edge in self.edges],
+            node_colors=node_colors,
+            edge_colors=edge_colors,
+            budget=DEFAULT_BUDGET if budget is None else budget,
+        )
+
+    def canonical_fingerprint(self, include_names: bool = False) -> str:
+        """Order-insensitive structural hash of this hypergraph.
+
+        Stable under edge-list reordering and under swapping the two
+        sides of any hyperedge.  Structure means nodes, hyperedges, and
+        the operator payloads riding on them (via
+        :func:`payload_token`); selectivities and cardinalities are
+        *statistics*, handled separately by the plan-cache key layer.
+
+        With ``include_names=False`` (default) the hash is additionally
+        name- and node-order-independent: isomorphic shapes share one
+        fingerprint, which is what lets the plan cache serve a
+        relabeled repeat of a known query.  With ``include_names=True``
+        node identity (index and name) is part of the hash.
+        """
+        tokens = [payload_token(edge.payload) for edge in self.edges]
+        if include_names:
+            import hashlib
+
+            from .canonical import index_order_encoding
+
+            names = tuple(
+                self.name_of(node) for node in range(self.n_nodes)
+            )
+            encoding, token_table = index_order_encoding(
+                self.n_nodes,
+                [(e.left, e.right, e.flex) for e in self.edges],
+                tokens,
+            )
+            payload = repr((names, token_table, encoding))
+            return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        return self.canonical_form(edge_colors=tokens).digest
 
     # -- rendering --------------------------------------------------------
 

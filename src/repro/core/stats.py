@@ -38,6 +38,12 @@ class SearchStats:
         neighborhood_cache_misses: memoized ``simple_neighborhood``
             computations, i.e. distinct multi-node subgraphs whose
             simple neighborhood had to be computed once.
+        extra: free-form counters merged into :meth:`as_dict`.  The
+            optimizer's finalize stage adds a ``"plan_cache"`` entry
+            (per-query hit/miss/revalidated/bypass/replay_failed event
+            plus a shared cache counter snapshot) whenever a plan
+            cache was attached to the run; with the cache off the dict
+            stays untouched.
     """
 
     ccp_emitted: int = 0

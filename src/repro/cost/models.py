@@ -16,6 +16,18 @@ EmitCsgCmp observable.
 
 from __future__ import annotations
 
+import itertools
+import threading
+
+#: monotone tokens for the identity-keyed cache_key fallback; unlike
+#: ``id()`` these are never reused after garbage collection, so a
+#: cached plan can never be served to a *different* model instance
+_INSTANCE_TOKENS = itertools.count()
+#: guards the lazy token assignment — one model instance may be
+#: fingerprinted concurrently by optimize_many worker threads and must
+#: still end up with exactly one token
+_TOKEN_LOCK = threading.Lock()
+
 
 class CostModel:
     """Interface: price a leaf and a binary operator application."""
@@ -28,6 +40,30 @@ class CostModel:
 
     def join_cost(self, operator, left_plan, right_plan, out_cardinality: float) -> float:
         raise NotImplementedError
+
+    def cache_key(self) -> tuple:
+        """Stable key identifying this model for the plan cache.
+
+        Two models with equal keys must price every plan identically —
+        a false match would serve a plan optimized under a different
+        cost function.  The default is safe for any subclass: stateless
+        models (no instance attributes) share a per-class key, while
+        stateful models that do not override this method get a
+        per-instance token (correct, but plans are only shared through
+        the *same* instance).  Parameterized models should override and
+        return their parameters, as :class:`HashJoinModel` does.
+        """
+        base = (type(self).__module__, type(self).__qualname__)
+        if not vars(self):
+            return base
+        token = vars(self).get("_cache_token")
+        if token is None:
+            with _TOKEN_LOCK:
+                token = vars(self).get("_cache_token")
+                if token is None:
+                    token = next(_INSTANCE_TOKENS)
+                    self._cache_token = token
+        return base + ("instance", token)
 
 
 class CoutModel(CostModel):
@@ -79,6 +115,10 @@ class HashJoinModel(CostModel):
             + out_cardinality
         )
 
+    def cache_key(self) -> tuple:
+        return (type(self).__module__, type(self).__qualname__,
+                self.build_factor)
+
 
 class SortMergeModel(CostModel):
     """Sort-merge join with ``n log n`` sorting of both inputs."""
@@ -123,6 +163,10 @@ class MinOfModel(CostModel):
             model.join_cost(operator, left_plan, right_plan, out_cardinality)
             for model in self.models
         )
+
+    def cache_key(self) -> tuple:
+        return (type(self).__module__, type(self).__qualname__,
+                tuple(model.cache_key() for model in self.models))
 
 
 #: Models by name, used by the CLI / benchmark parameterization.

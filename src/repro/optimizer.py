@@ -31,9 +31,19 @@ wrappers over this facade.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field, replace
-from typing import Any, Iterable, Mapping, Optional, Sequence, Union
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, Union
 
+from .cache import (
+    DEFAULT_CAPACITY,
+    CacheKeyInfo,
+    PlanCache,
+    build_cache_key,
+    plan_recipe,
+    replay_recipe,
+    structure_bucket,
+)
 from .core.dphyp import DPhyp, solve_dphyp
 from .core.hypergraph import (
     DisconnectedGraphError,
@@ -43,11 +53,12 @@ from .core.hypergraph import (
 from .core import bitset
 from .core.plans import JoinPlanBuilder, Plan, PlanBuilder
 from .core.stats import SearchStats
-from .cost.models import CostModel
+from .cost.models import CostModel, CoutModel
 from .registry import (
     AlgorithmInfo,
     check_capabilities,
     get_algorithm,
+    registration_token,
     select_auto,
 )
 
@@ -232,6 +243,331 @@ class QuerySpec:
         )
 
 
+# -- the staged pipeline -----------------------------------------------------
+
+
+@dataclass
+class PipelineContext:
+    """Mutable state threaded through one optimize() pipeline run.
+
+    Stages communicate exclusively through this object: ``normalize``
+    fills the prepared-query fields, ``fingerprint`` the cache key,
+    the cache stage the hit/event fields, ``dispatch`` the plan, and
+    ``finalize`` folds everything into the
+    :class:`OptimizationResult`.  Each run gets a fresh context, so
+    pipeline runs are independent and thread-safe as long as the
+    stages themselves stay stateless (the built-ins are).
+    """
+
+    config: "OptimizerConfig"
+    query: Any
+    cardinalities: Optional[Sequence[float]]
+    builder_arg: Optional[PlanBuilder]
+    cache: Optional[PlanCache]
+    # -- set by the normalize stage
+    kind: str = ""
+    graph: Optional[Hypergraph] = None
+    resolved_cardinalities: Optional[list[float]] = None
+    builder: Optional[PlanBuilder] = None
+    stats: SearchStats = field(default_factory=SearchStats)
+    info: Optional[AlgorithmInfo] = None
+    compiled: Any = None
+    mode: Optional[str] = None
+    cacheable: bool = False
+    # -- set by the fingerprint stage
+    key_info: Optional[CacheKeyInfo] = None
+    # -- set by the cache stage
+    cache_hit: bool = False
+    cache_event: Optional[str] = None
+    # -- set by the dispatch stage (or a cache hit)
+    plan: Optional[Plan] = None
+
+
+class NormalizeStage:
+    """Stage 1: coerce any supported query kind into a prepared form.
+
+    Accepts a :class:`Hypergraph`, :class:`QuerySpec`, operator
+    :class:`~repro.algebra.optree.TreeNode`, or workload ``Query``
+    bundle; applies the disconnected-graph policy; materializes
+    default cardinalities; builds the plan builder; and resolves the
+    configured algorithm against the capability registry.  Also
+    decides cacheability: only hypergraph queries optimized through
+    the default builder by a solver registered ``cacheable=True``
+    qualify (operator trees carry operator payloads whose plans are
+    not recipe-replayable; custom builders are opaque).
+    """
+
+    def __call__(self, ctx: PipelineContext) -> None:
+        from .algebra.optree import TreeNode  # local: avoid import cycle
+
+        query = ctx.query
+        if isinstance(query, Hypergraph):
+            self._hypergraph(ctx, query, ctx.cardinalities, ctx.builder_arg)
+        elif isinstance(query, QuerySpec):
+            if ctx.cardinalities is not None or ctx.builder_arg is not None:
+                raise ValueError(
+                    "a QuerySpec carries its own cardinalities and builder"
+                )
+            graph, cards = query.to_hypergraph()
+            self._hypergraph(ctx, graph, cards, None)
+        elif isinstance(query, TreeNode):
+            if ctx.cardinalities is not None or ctx.builder_arg is not None:
+                raise ValueError(
+                    "an operator tree carries its own cardinalities; "
+                    "configure cost_model on OptimizerConfig instead"
+                )
+            self._tree(ctx, query)
+        elif hasattr(query, "graph") and hasattr(query, "cardinalities"):
+            # a repro.workloads.generators.Query bundle (duck-typed)
+            self._hypergraph(
+                ctx,
+                query.graph,
+                ctx.cardinalities if ctx.cardinalities is not None
+                else query.cardinalities,
+                ctx.builder_arg,
+            )
+        else:
+            raise TypeError(
+                f"cannot optimize {type(query).__name__}; expected "
+                "Hypergraph, TreeNode, QuerySpec, or a workload Query"
+            )
+
+    def _hypergraph(
+        self,
+        ctx: PipelineContext,
+        graph: Hypergraph,
+        cardinalities: Optional[Sequence[float]],
+        builder: Optional[PlanBuilder],
+    ) -> None:
+        config = ctx.config
+        if not graph.is_connected:
+            if config.on_disconnected == "raise":
+                raise DisconnectedGraphError(
+                    f"the query hypergraph has "
+                    f"{len(graph.connected_components())} connected "
+                    "components and therefore no cross-product-free plan; "
+                    "call Hypergraph.make_connected() first or configure "
+                    "OptimizerConfig(on_disconnected='connect')"
+                )
+            if config.on_disconnected == "connect":
+                graph = graph.make_connected()
+            # "plan-none": legacy behaviour, let the solver return None
+        ctx.kind = "hypergraph"
+        ctx.graph = graph
+        ctx.info = _resolve_algorithm(config, graph, from_tree=False)
+        if builder is None:
+            if cardinalities is None:
+                cardinalities = [config.default_cardinality] * graph.n_nodes
+            ctx.resolved_cardinalities = [float(c) for c in cardinalities]
+            builder = JoinPlanBuilder(
+                graph, ctx.resolved_cardinalities, config.cost_model,
+                ctx.stats,
+            )
+            ctx.cacheable = ctx.info.cacheable
+        ctx.builder = builder
+
+    def _tree(self, ctx: PipelineContext, tree) -> None:
+        # Local imports: repro.algebra imports the facade wrappers.
+        from .algebra.hyperedges import compile_tree
+        from .algebra.optree import (
+            normalize_commutative_children,
+            validate_tree,
+        )
+        from .algebra.reorder import OperatorPlanBuilder
+        from .algebra.tes_filter import TesFilterPlanBuilder, compile_tree_ses
+
+        config = ctx.config
+        validate_tree(tree)
+        normalized = normalize_commutative_children(tree)
+        if config.mode == "hyperedges":
+            compiled = compile_tree(normalized)
+            builder = OperatorPlanBuilder(compiled, config.cost_model,
+                                          ctx.stats)
+        else:
+            compiled, requirements = compile_tree_ses(normalized)
+            builder = TesFilterPlanBuilder(
+                compiled, requirements, config.cost_model, ctx.stats
+            )
+        ctx.kind = "tree"
+        ctx.graph = compiled.graph
+        ctx.compiled = compiled
+        ctx.mode = config.mode
+        ctx.builder = builder
+        ctx.info = _resolve_algorithm(config, compiled.graph, from_tree=True)
+
+
+class FingerprintStage:
+    """Stage 2: canonical cache key for cacheable queries.
+
+    Computes the annotated canonical form (cardinalities as node
+    colors, selectivities as edge colors) so every isomorphic
+    relabeling of the query maps to one key, and combines it with the
+    config/cost-model key tuple.  Skipped entirely — zero overhead —
+    when no cache is attached or the query is not cacheable.
+    """
+
+    def __call__(self, ctx: PipelineContext) -> None:
+        if ctx.cache is None or not ctx.cacheable:
+            return
+        # The *resolved* registration is part of the key (not just the
+        # configured name): replacing a solver via
+        # register_algorithm(replace=True), or an "auto" resolution
+        # change after new registrations, must never serve plans the
+        # previous solver computed.
+        resolved = (ctx.info.name, registration_token(ctx.info.name))
+        ctx.key_info = build_cache_key(
+            ctx.graph,
+            ctx.resolved_cardinalities,
+            ctx.config.cache_key() + (resolved,),
+        )
+
+
+class CacheStage:
+    """Stages 3a/3b: cache lookup before dispatch, store after.
+
+    A hit replays the cached canonical recipe through the requesting
+    query's own builder (exact costs, names, and payloads — see
+    :mod:`repro.cache.recipe`); a stale entry (older statistics epoch)
+    is recomputed and refreshed, surfacing as a ``"revalidated"``
+    event.
+    """
+
+    def lookup(self, ctx: PipelineContext) -> None:
+        if ctx.cache is None or ctx.key_info is None:
+            return
+        entry, status = ctx.cache.probe(ctx.key_info.key)
+        if status == "hit":
+            try:
+                ctx.plan = replay_recipe(
+                    entry.recipe, ctx.key_info.inverse, ctx.graph,
+                    ctx.builder,
+                )
+            except (ValueError, LookupError, TypeError):
+                # Unreplayable entry (should not happen outside digest
+                # collisions): degrade to a recompute, never fail the
+                # query on the cache's account.  The entry is dropped
+                # and the optimistic hit reclassified as a miss.
+                ctx.cache.note_replay_failure(ctx.key_info.key)
+                ctx.cache_event = "replay_failed"
+                return
+            ctx.cache_hit = True
+            ctx.cache_event = "hit"
+        elif status == "stale":
+            ctx.cache_event = "revalidated"
+        else:
+            ctx.cache_event = "miss"
+
+    def store(self, ctx: PipelineContext) -> None:
+        if (
+            ctx.cache is None
+            or ctx.key_info is None
+            or ctx.cache_hit
+            or ctx.plan is None
+        ):
+            return
+        ctx.cache.store(
+            ctx.key_info.key,
+            plan_recipe(ctx.plan, ctx.key_info.permutation),
+            # computed here, not per-lookup: misses only
+            structure=structure_bucket(ctx.graph),
+            cost=ctx.plan.cost,
+        )
+
+
+class DispatchStage:
+    """Stage 4: run the resolved algorithm (cache miss path)."""
+
+    def __call__(self, ctx: PipelineContext) -> Optional[Plan]:
+        config = ctx.config
+        info = ctx.info
+        # Keyed on solver identity, not the name: a replacement
+        # registered under "dphyp" must win over the knob shortcut.
+        if info.solver is solve_dphyp and not (
+            config.minimize_neighborhoods and config.memoize_neighborhoods
+        ):
+            return DPhyp(
+                ctx.graph,
+                ctx.builder,
+                ctx.stats,
+                minimize_neighborhoods=config.minimize_neighborhoods,
+                memoize_neighborhoods=config.memoize_neighborhoods,
+            ).run()
+        return info.solver(ctx.graph, ctx.builder, ctx.stats)
+
+
+class FinalizeStage:
+    """Stage 5: fold the context into an :class:`OptimizationResult`.
+
+    When a cache is attached, the result's ``stats.extra`` gains a
+    ``"plan_cache"`` entry: the per-query event (``hit`` / ``miss`` /
+    ``revalidated`` / ``bypass`` for uncacheable queries /
+    ``replay_failed`` for the behaves-like-a-miss corrupt-entry path)
+    plus a counter snapshot of the shared cache.  With the cache off
+    the stats are byte-identical to the pre-cache optimizer.
+    """
+
+    def __call__(self, ctx: PipelineContext) -> "OptimizationResult":
+        if ctx.cache is not None:
+            ctx.stats.extra["plan_cache"] = {
+                "event": ctx.cache_event or "bypass",
+                **ctx.cache.counters(),
+            }
+        if ctx.kind == "tree":
+            return OptimizationResult(
+                plan=ctx.plan,
+                stats=ctx.stats,
+                algorithm=ctx.info.name,
+                requested_algorithm=ctx.config.algorithm,
+                compiled=ctx.compiled,
+                mode=ctx.mode,
+            )
+        return OptimizationResult(
+            plan=ctx.plan,
+            stats=ctx.stats,
+            algorithm=ctx.info.name,
+            requested_algorithm=ctx.config.algorithm,
+            graph=ctx.graph,
+        )
+
+
+def _resolve_algorithm(
+    config: "OptimizerConfig", graph: Hypergraph, from_tree: bool
+) -> AlgorithmInfo:
+    """Map the configured algorithm to a registration for ``graph``."""
+    if config.algorithm == "auto":
+        return select_auto(
+            graph, config.exact_threshold, from_tree=from_tree
+        )
+    info = get_algorithm(config.algorithm)
+    check_capabilities(info, graph, from_tree=from_tree)
+    return info
+
+
+@dataclass(frozen=True)
+class PipelineStages:
+    """The five replaceable stages of the optimize pipeline.
+
+    ``normalize -> fingerprint -> cache(lookup) -> dispatch ->
+    cache(store) -> finalize``.  Swap any stage via
+    ``OptimizerConfig(pipeline=PipelineStages(dispatch=MyDispatch()))``
+    — stages must be stateless (they may run concurrently from
+    ``optimize_many`` worker threads) and communicate only through the
+    :class:`PipelineContext`.
+    """
+
+    normalize: Callable[[PipelineContext], None] = NormalizeStage()
+    fingerprint: Callable[[PipelineContext], None] = FingerprintStage()
+    cache: CacheStage = CacheStage()
+    dispatch: Callable[[PipelineContext], Optional[Plan]] = DispatchStage()
+    finalize: Callable[[PipelineContext], "OptimizationResult"] = (
+        FinalizeStage()
+    )
+
+
+#: shared default pipeline (all stages are stateless singletons)
+DEFAULT_PIPELINE = PipelineStages()
+
+
 # -- configuration ----------------------------------------------------------
 
 
@@ -264,6 +600,21 @@ class OptimizerConfig:
             work-saving knobs (both correctness-neutral, both default
             on); honoured whenever the resolved algorithm is
             ``"dphyp"``.
+        cache: plan-cache policy — ``"auto"`` (default: off for
+            single :meth:`Optimizer.optimize` calls, on for
+            :meth:`Optimizer.optimize_many` batches), ``"on"``
+            (every cacheable query), or ``"off"`` (never; the
+            fingerprint and cache stages become no-ops and behaviour
+            is bit-identical to the pre-cache optimizer).
+        cache_size: LRU capacity of the optimizer-owned
+            :class:`~repro.cache.plan_cache.PlanCache` (ignored when a
+            shared cache is injected via ``Optimizer(plan_cache=...)``).
+        parallel_workers: default thread count for
+            :meth:`Optimizer.optimize_many` (``None``/``1`` = serial;
+            results keep input order either way).
+        pipeline: the five pipeline stage components; replace
+            individual stages via
+            ``PipelineStages(dispatch=MyDispatch())``.
     """
 
     algorithm: str = "auto"
@@ -274,6 +625,10 @@ class OptimizerConfig:
     exact_threshold: int = 14
     minimize_neighborhoods: bool = True
     memoize_neighborhoods: bool = True
+    cache: str = "auto"
+    cache_size: int = DEFAULT_CAPACITY
+    parallel_workers: Optional[int] = None
+    pipeline: PipelineStages = DEFAULT_PIPELINE
 
     def __post_init__(self) -> None:
         if self.mode not in ("hyperedges", "tes-filter"):
@@ -286,8 +641,40 @@ class OptimizerConfig:
             raise ValueError("exact_threshold must be positive")
         if self.default_cardinality <= 0:
             raise ValueError("default_cardinality must be positive")
+        if self.cache not in ("auto", "on", "off"):
+            raise ValueError("cache must be 'auto', 'on', or 'off'")
+        if self.cache_size < 1:
+            raise ValueError("cache_size must be at least 1")
+        if self.parallel_workers is not None and self.parallel_workers < 1:
+            raise ValueError("parallel_workers must be None or >= 1")
         if self.algorithm != "auto":
             get_algorithm(self.algorithm)  # raises on unknown names
+
+    def cache_key(self) -> tuple:
+        """Stable tuple identifying this config for plan-cache keys.
+
+        Only fields that can change the *resulting plan* participate:
+        the algorithm (plus ``exact_threshold`` when dispatching
+        ``"auto"``), the operator-tree mode, and the cost model (via
+        :meth:`repro.cost.models.CostModel.cache_key`).  Deliberately
+        excluded: ``default_cardinality`` (materialized into the
+        statistics signature during normalization), ``on_disconnected``
+        (already applied to the graph before fingerprinting), the
+        correctness-neutral DPhyp knobs, and the cache/parallel/
+        pipeline plumbing itself — so configs differing only in
+        plumbing share entries.  Custom pipeline stages that change
+        planning semantics must therefore use a dedicated cache (or
+        ``cache="off"``).
+        """
+        model = self.cost_model
+        if model is None:
+            cost = (CoutModel.__module__, CoutModel.__qualname__)
+        else:
+            cost = model.cache_key()
+        key = (self.algorithm, self.mode, cost)
+        if self.algorithm == "auto":
+            key += (self.exact_threshold,)
+        return key
 
 
 # -- unified result ---------------------------------------------------------
@@ -411,16 +798,38 @@ class Optimizer:
 
         result = opt.optimize(graph_or_tree_or_spec)
         results = opt.optimize_many(queries)
+
+    Every call runs the staged pipeline ``normalize -> fingerprint ->
+    cache lookup -> algorithm dispatch -> finalize``
+    (:class:`PipelineStages`).  The plan cache is off by default for
+    single ``optimize`` calls and on for ``optimize_many`` batches
+    (``OptimizerConfig.cache`` overrides both ways); a
+    :class:`~repro.cache.plan_cache.PlanCache` can be shared across
+    optimizers via the ``plan_cache`` constructor argument.
     """
 
     def __init__(
-        self, config: Optional[OptimizerConfig] = None, **overrides
+        self,
+        config: Optional[OptimizerConfig] = None,
+        plan_cache: Optional[PlanCache] = None,
+        **overrides,
     ) -> None:
         if config is None:
             config = OptimizerConfig(**overrides)
         elif overrides:
             config = replace(config, **overrides)
         self.config = config
+        self._plan_cache = plan_cache
+        self._plan_cache_lock = threading.Lock()
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        """This optimizer's plan cache (lazily created, injectable)."""
+        if self._plan_cache is None:
+            with self._plan_cache_lock:
+                if self._plan_cache is None:
+                    self._plan_cache = PlanCache(self.config.cache_size)
+        return self._plan_cache
 
     # -- public API ------------------------------------------------------
 
@@ -442,147 +851,83 @@ class Optimizer:
                 their own).
             builder: a fully custom plan builder (hypergraph path
                 only); overrides ``cardinalities`` and the configured
-                cost model.
+                cost model, and bypasses the plan cache.
         """
-        from .algebra.optree import TreeNode  # local: avoid import cycle
+        cache = self.plan_cache if self.config.cache == "on" else None
+        return self._run_pipeline(query, cardinalities, builder, cache)
 
-        if isinstance(query, Hypergraph):
-            return self._optimize_hypergraph(query, cardinalities, builder)
-        if isinstance(query, QuerySpec):
-            if cardinalities is not None or builder is not None:
-                raise ValueError(
-                    "a QuerySpec carries its own cardinalities and builder"
-                )
-            graph, cards = query.to_hypergraph()
-            return self._optimize_hypergraph(graph, cards, None)
-        if isinstance(query, TreeNode):
-            if cardinalities is not None or builder is not None:
-                raise ValueError(
-                    "an operator tree carries its own cardinalities; "
-                    "configure cost_model on OptimizerConfig instead"
-                )
-            return self._optimize_tree(query)
-        if hasattr(query, "graph") and hasattr(query, "cardinalities"):
-            # a repro.workloads.generators.Query bundle (duck-typed)
-            return self._optimize_hypergraph(
-                query.graph,
-                cardinalities if cardinalities is not None
-                else query.cardinalities,
-                builder,
-            )
-        raise TypeError(
-            f"cannot optimize {type(query).__name__}; expected Hypergraph, "
-            "TreeNode, QuerySpec, or a workload Query"
-        )
-
-    def optimize_many(self, queries: Iterable) -> list[OptimizationResult]:
-        """Optimize a batch; results are in input order."""
-        return [self.optimize(query) for query in queries]
-
-    # -- hypergraph path -------------------------------------------------
-
-    def _optimize_hypergraph(
+    def optimize_many(
         self,
-        graph: Hypergraph,
+        queries: Iterable,
+        parallel: Optional[int] = None,
+        cache: Optional[bool] = None,
+    ) -> list[OptimizationResult]:
+        """Optimize a batch; results are in input order.
+
+        The batch path is where repeated workloads pay off: all queries
+        share this optimizer's plan cache (default on; disable with
+        ``cache=False`` or ``OptimizerConfig(cache="off")``), so
+        repeats and isomorphic relabelings are served by recipe replay
+        instead of re-enumeration.
+
+        Args:
+            queries: any mix of supported query representations.
+            parallel: worker threads (default
+                ``OptimizerConfig.parallel_workers``; ``None``/``1`` =
+                serial).  Result order is input order regardless of
+                completion order, so serial and parallel runs are
+                interchangeable.
+            cache: per-call override of the config's cache policy.
+        """
+        items = list(queries)
+        if not items:
+            return []
+        if cache is None:
+            use_cache = self.config.cache != "off"
+        else:
+            use_cache = bool(cache)
+        shared = self.plan_cache if use_cache else None
+        workers = (
+            parallel if parallel is not None
+            else self.config.parallel_workers
+        )
+        if workers is not None and workers > 1 and len(items) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(
+                max_workers=min(workers, len(items))
+            ) as pool:
+                return list(pool.map(
+                    lambda query: self._run_pipeline(
+                        query, None, None, shared
+                    ),
+                    items,
+                ))
+        return [
+            self._run_pipeline(query, None, None, shared) for query in items
+        ]
+
+    # -- pipeline driver -------------------------------------------------
+
+    def _run_pipeline(
+        self,
+        query,
         cardinalities: Optional[Sequence[float]],
         builder: Optional[PlanBuilder],
+        cache: Optional[PlanCache],
     ) -> OptimizationResult:
-        config = self.config
-        if not graph.is_connected:
-            if config.on_disconnected == "raise":
-                raise DisconnectedGraphError(
-                    f"the query hypergraph has "
-                    f"{len(graph.connected_components())} connected "
-                    "components and therefore no cross-product-free plan; "
-                    "call Hypergraph.make_connected() first or configure "
-                    "OptimizerConfig(on_disconnected='connect')"
-                )
-            if config.on_disconnected == "connect":
-                graph = graph.make_connected()
-            # "plan-none": legacy behaviour, let the solver return None
-        info = self._resolve(graph, from_tree=False)
-        stats = SearchStats()
-        if builder is None:
-            if cardinalities is None:
-                cardinalities = [config.default_cardinality] * graph.n_nodes
-            builder = JoinPlanBuilder(
-                graph, cardinalities, config.cost_model, stats
-            )
-        plan = self._run(info, graph, builder, stats)
-        return OptimizationResult(
-            plan=plan,
-            stats=stats,
-            algorithm=info.name,
-            requested_algorithm=config.algorithm,
-            graph=graph,
+        stages = self.config.pipeline
+        ctx = PipelineContext(
+            config=self.config,
+            query=query,
+            cardinalities=cardinalities,
+            builder_arg=builder,
+            cache=cache,
         )
-
-    # -- operator-tree path ----------------------------------------------
-
-    def _optimize_tree(self, tree) -> OptimizationResult:
-        # Local imports: repro.algebra imports the facade wrappers.
-        from .algebra.hyperedges import compile_tree
-        from .algebra.optree import (
-            normalize_commutative_children,
-            validate_tree,
-        )
-        from .algebra.reorder import OperatorPlanBuilder
-        from .algebra.tes_filter import TesFilterPlanBuilder, compile_tree_ses
-
-        config = self.config
-        validate_tree(tree)
-        normalized = normalize_commutative_children(tree)
-        stats = SearchStats()
-        if config.mode == "hyperedges":
-            compiled = compile_tree(normalized)
-            builder = OperatorPlanBuilder(compiled, config.cost_model, stats)
-        else:
-            compiled, requirements = compile_tree_ses(normalized)
-            builder = TesFilterPlanBuilder(
-                compiled, requirements, config.cost_model, stats
-            )
-        info = self._resolve(compiled.graph, from_tree=True)
-        plan = self._run(info, compiled.graph, builder, stats)
-        return OptimizationResult(
-            plan=plan,
-            stats=stats,
-            algorithm=info.name,
-            requested_algorithm=config.algorithm,
-            compiled=compiled,
-            mode=config.mode,
-        )
-
-    # -- dispatch helpers -------------------------------------------------
-
-    def _resolve(self, graph: Hypergraph, from_tree: bool) -> AlgorithmInfo:
-        """Map the configured algorithm to a registration for ``graph``."""
-        config = self.config
-        if config.algorithm == "auto":
-            return select_auto(
-                graph, config.exact_threshold, from_tree=from_tree
-            )
-        info = get_algorithm(config.algorithm)
-        check_capabilities(info, graph, from_tree=from_tree)
-        return info
-
-    def _run(
-        self,
-        info: AlgorithmInfo,
-        graph: Hypergraph,
-        builder: PlanBuilder,
-        stats: SearchStats,
-    ) -> Optional[Plan]:
-        config = self.config
-        # Keyed on solver identity, not the name: a replacement
-        # registered under "dphyp" must win over the knob shortcut.
-        if info.solver is solve_dphyp and not (
-            config.minimize_neighborhoods and config.memoize_neighborhoods
-        ):
-            return DPhyp(
-                graph,
-                builder,
-                stats,
-                minimize_neighborhoods=config.minimize_neighborhoods,
-                memoize_neighborhoods=config.memoize_neighborhoods,
-            ).run()
-        return info.solver(graph, builder, stats)
+        stages.normalize(ctx)
+        stages.fingerprint(ctx)
+        stages.cache.lookup(ctx)
+        if not ctx.cache_hit:
+            ctx.plan = stages.dispatch(ctx)
+            stages.cache.store(ctx)
+        return stages.finalize(ctx)

@@ -18,8 +18,9 @@ extensions immediately.
 
 from __future__ import annotations
 
+import itertools
 from collections.abc import Mapping
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
 
 from .core.dpccp import solve_dpccp
@@ -68,6 +69,11 @@ class AlgorithmInfo:
         auto_priority: tie-break among eligible candidates during
             ``auto`` dispatch; highest wins, ``0`` means "never
             auto-selected" (baselines kept for measurement only).
+        cacheable: True when the solver is deterministic — same graph,
+            statistics, and cost model always yield the same plan — so
+            its results may be served from the plan cache.  All shipped
+            solvers qualify; randomized or stateful extensions must
+            register with ``cacheable=False`` to bypass the cache.
         description: one-line summary for ``repr`` and docs.
     """
 
@@ -78,6 +84,7 @@ class AlgorithmInfo:
     exact: bool = True
     recommended_max_n: Optional[int] = None
     auto_priority: int = 0
+    cacheable: bool = True
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -95,6 +102,22 @@ class AlgorithmInfo:
 
 #: the live registry: name -> AlgorithmInfo, in registration order
 _REGISTRY: dict[str, AlgorithmInfo] = {}
+
+#: monotone token per (re-)registration, so plan-cache keys can tell
+#: apart two different solvers registered under the same name over the
+#: lifetime of the process (``register_algorithm(..., replace=True)``)
+_REGISTRATION_TOKENS: dict[str, int] = {}
+_TOKEN_COUNTER = itertools.count(1)
+
+
+def registration_token(name: str) -> int:
+    """Token identifying the *current* registration under ``name``.
+
+    Bumped on every :func:`register_algorithm` for that name; the plan
+    cache includes it in its keys so entries computed by a replaced
+    solver can never be served on behalf of its successor.
+    """
+    return _REGISTRATION_TOKENS.get(name, 0)
 
 
 def register_algorithm(info: AlgorithmInfo, replace: bool = False) -> AlgorithmInfo:
@@ -117,6 +140,7 @@ def register_algorithm(info: AlgorithmInfo, replace: bool = False) -> AlgorithmI
             "pass replace=True to overwrite"
         )
     _REGISTRY[info.name] = info
+    _REGISTRATION_TOKENS[info.name] = next(_TOKEN_COUNTER)
     return info
 
 

@@ -10,8 +10,18 @@ from .hyper import (
     star_hypergraph,
 )
 from .random_queries import random_hypergraph_query, random_simple_query
+from .repeated import (
+    drifted,
+    drifting_workload,
+    relabeled,
+    repeated_workload,
+)
 
 __all__ = [
+    "drifted",
+    "drifting_workload",
+    "relabeled",
+    "repeated_workload",
     "SHAPES",
     "Query",
     "chain",

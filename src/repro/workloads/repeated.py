@@ -1,0 +1,145 @@
+"""Repeated-query workloads for the plan-cache serving layer.
+
+Production optimizers see the same join shapes over and over — the
+same dashboard queries, the same ORM patterns — usually with the
+relations appearing in different textual order per client.  These
+generators model that: take a base :class:`Query` and emit *relabeled*
+copies (node order, edge order, and names permuted; cardinalities and
+selectivities carried along consistently), optionally mixed with
+*drifted* copies whose statistics have been perturbed (a statistics
+refresh that must miss the cache rather than be served a stale plan).
+
+A relabeled copy is annotated-isomorphic to its base, so with the plan
+cache on an entire ``repeated_workload`` batch costs one enumeration
+plus cheap recipe replays — exactly the scenario the
+``bench throughput`` harness measures.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..core import bitset
+from ..core.hypergraph import Hyperedge, Hypergraph
+from .generators import Query
+
+
+def relabeled(query: Query, seed: int = 0, rename: bool = True) -> Query:
+    """An annotated-isomorphic relabeling of ``query``.
+
+    Node indices are permuted (edge bitmaps, cardinalities, and names
+    move consistently) and the edge list is shuffled, so the copy is
+    the same *query* wearing a different layout — it must share a
+    plan-cache entry with the original and produce the same optimal
+    cost.
+
+    Args:
+        query: the base workload query.
+        seed: permutation seed (seed 0 may still permute; use the
+            original ``query`` when an untouched copy is needed).
+        rename: give relations fresh ``Q<i>`` names; with ``False``
+            the original names travel with their relations.
+    """
+    graph = query.graph
+    n = graph.n_nodes
+    rng = random.Random(seed)
+    perm = list(range(n))
+    rng.shuffle(perm)
+    edges = [
+        Hyperedge(
+            left=bitset.permute(edge.left, perm),
+            right=bitset.permute(edge.right, perm),
+            flex=bitset.permute(edge.flex, perm),
+            selectivity=edge.selectivity,
+            payload=edge.payload,
+        )
+        for edge in graph.edges
+    ]
+    rng.shuffle(edges)
+    cardinalities = [0.0] * n
+    for node, card in enumerate(query.cardinalities):
+        cardinalities[perm[node]] = float(card)
+    if rename:
+        names: Optional[list[str]] = [f"Q{i}" for i in range(n)]
+    elif graph.node_names is not None:
+        names = [""] * n
+        for node, name in enumerate(graph.node_names):
+            names[perm[node]] = name
+    else:
+        names = None
+    return Query(
+        graph=Hypergraph(n_nodes=n, edges=edges, node_names=names),
+        cardinalities=cardinalities,
+        description=f"{query.description}~{seed}",
+        meta=dict(query.meta, relabel_seed=seed, base=query.description),
+    )
+
+
+def drifted(query: Query, seed: int = 0, drift: float = 0.2) -> Query:
+    """A same-shape copy with perturbed statistics.
+
+    Cardinalities are jittered by up to ``drift`` relative; the
+    structure is untouched.  Models a statistics refresh: the copy
+    shares the *structural* identity of its base but must not be
+    served the base's cached plan (the statistics signature differs).
+    """
+    if not 0.0 < drift:
+        raise ValueError("drift must be positive")
+    rng = random.Random(seed)
+    cardinalities = [
+        max(1.0, float(card) * (1.0 + rng.uniform(-drift, drift)))
+        for card in query.cardinalities
+    ]
+    return Query(
+        graph=query.graph,
+        cardinalities=cardinalities,
+        description=f"{query.description}~drift{seed}",
+        meta=dict(query.meta, drift_seed=seed, base=query.description),
+    )
+
+
+def repeated_workload(
+    base: Query,
+    copies: int,
+    seed: int = 0,
+    relabel: bool = True,
+) -> list[Query]:
+    """``copies`` queries all annotated-isomorphic to ``base``.
+
+    The first entry is ``base`` itself; the rest are relabelings (or
+    verbatim repeats with ``relabel=False``).  With the plan cache on,
+    the whole batch resolves to one cache entry.
+    """
+    if copies < 1:
+        raise ValueError("need at least one copy")
+    if not relabel:
+        return [base] * copies
+    return [base] + [
+        relabeled(base, seed=seed + i) for i in range(1, copies)
+    ]
+
+
+def drifting_workload(
+    base: Query,
+    copies: int,
+    seed: int = 0,
+    distinct_stats: int = 4,
+) -> list[Query]:
+    """A repeated workload whose statistics drift between repeats.
+
+    ``distinct_stats`` statistics versions cycle through the batch;
+    each version is one cache entry, so the expected steady-state hit
+    rate is ``1 - distinct_stats / copies``.
+    """
+    if copies < 1:
+        raise ValueError("need at least one copy")
+    if distinct_stats < 1:
+        raise ValueError("need at least one statistics version")
+    versions = [base] + [
+        drifted(base, seed=seed + i) for i in range(1, distinct_stats)
+    ]
+    return [
+        relabeled(versions[i % distinct_stats], seed=seed + i)
+        for i in range(copies)
+    ]

@@ -194,3 +194,34 @@ class TestRendering:
     def test_render_mentions_all_edges(self, fig2_graph):
         text = fig2_graph.render()
         assert text.count("--") == len(fig2_graph.edges)
+
+
+class TestEdgesWithinIndexed:
+    """The indexed ``edges_within`` must agree with the definitional
+    full-scan on arbitrary graphs (hot-path audit of PR 3)."""
+
+    def brute_force(self, graph, s):
+        return [edge for edge in graph.edges if edge.spans(s)]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_scan_on_random_hypergraphs(self, seed):
+        from repro.workloads.random_queries import random_hypergraph_query
+
+        query = random_hypergraph_query(7, seed=seed)
+        graph = query.graph
+        for s in range(1 << graph.n_nodes):
+            assert graph.edges_within(s) == self.brute_force(graph, s), s
+
+    def test_empty_set(self, fig2_graph):
+        assert fig2_graph.edges_within(0) == []
+
+    def test_full_set_preserves_edge_order(self, fig2_graph):
+        assert fig2_graph.edges_within(fig2_graph.all_nodes) == \
+            fig2_graph.edges
+
+    def test_index_invalidated_by_add_edge(self):
+        graph = Hypergraph(n_nodes=3)
+        graph.add_simple_edge(0, 1)
+        assert len(graph.edges_within(0b011)) == 1
+        graph.add_simple_edge(1, 2)
+        assert len(graph.edges_within(0b111)) == 2
