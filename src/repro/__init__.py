@@ -26,7 +26,7 @@ wrappers over the facade.
 """
 
 from .api import ALGORITHMS, OptimizationResult, optimize
-from .cache import PlanCache
+from .cache import CachePersistenceWarning, PlanCache
 from .explain import explain, explain_dot, plan_summary
 from .optimizer import (
     JoinSpec,
@@ -69,7 +69,7 @@ from .cost import (
     SortMergeModel,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ALGORITHMS",
@@ -80,6 +80,7 @@ __all__ = [
     "PipelineContext",
     "PipelineStages",
     "PlanCache",
+    "CachePersistenceWarning",
     "QuerySpec",
     "JoinSpec",
     "CanonicalForm",

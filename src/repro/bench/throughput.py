@@ -13,36 +13,58 @@ scenario) is pushed through ``Optimizer.optimize_many`` three times —
 * **hot**: the same batch again, every query served by canonical
   fingerprint lookup + recipe replay.
 
-The emitted JSON (``BENCH_pr3_plan_cache.json`` is the committed
-baseline) records queries/sec for all three passes, the speedup, and the
-cache counters, plus a mixed *drifting* workload where statistics
-changes force a controlled miss rate.  The CI throughput-smoke job
-runs this at tiny sizes and fails when hot does not beat cold by
-``--min-speedup``.
+The emitted JSON (``BENCH_pr3_plan_cache.json`` and
+``BENCH_pr4_persist.json`` are the committed baselines) records
+queries/sec for all three passes, the speedup, and the cache counters,
+plus a mixed *drifting* workload where statistics changes force a
+controlled miss rate, and a **restart** phase measuring the
+persistence layer: a server with ``cache_path`` set is started cold
+(no file), then "killed" and restarted against the autosaved file —
+the warm restart must serve its very first query as a cache hit.  The
+CI throughput-smoke job runs this at tiny sizes and fails when hot
+does not beat cold by ``--min-speedup`` or warm restart does not beat
+cold restart by ``--min-restart-speedup``.
+
+``--executor process`` pushes every batch through the
+``ProcessPoolExecutor`` backend instead of threads.
 
 Usage::
 
     PYTHONPATH=src python -m repro.bench throughput --out BENCH_new.json
     PYTHONPATH=src python -m repro.bench throughput --max-n 8 --copies 10 \
-        --min-speedup 3
+        --min-speedup 3 --min-restart-speedup 3
+    PYTHONPATH=src python -m repro.bench throughput --executor process \
+        --workers 4
 """
 
 from __future__ import annotations
 
 import json
 import math
+import os
 import platform
 import sys
+import tempfile
 import time
 from typing import Optional
 
 from ..optimizer import Optimizer, OptimizerConfig
 from ..workloads import generators
-from ..workloads.repeated import drifting_workload, repeated_workload
+from ..workloads.repeated import (
+    drifting_workload,
+    mixed_shapes_workload,
+    repeated_workload,
+)
 from .harness import scaled
 
 #: bump when the JSON layout changes incompatibly
-SCHEMA_VERSION = 1
+#: (v2: added the ``restart`` persistence phase and ``executor`` field)
+SCHEMA_VERSION = 2
+
+#: schema versions :func:`validate_result` still understands —
+#: committed baselines from earlier PRs (e.g.
+#: ``BENCH_pr3_plan_cache.json``) must keep validating
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 #: top-level keys every throughput document must carry
 REQUIRED_KEYS = ("schema_version", "label", "python", "workloads")
@@ -86,13 +108,76 @@ def _timed_batch(
     workload,
     workers: Optional[int],
     cache: Optional[bool] = None,
+    executor: Optional[str] = None,
 ):
     """Run one batch, returning (seconds, results)."""
     start = time.perf_counter()
     results = optimizer.optimize_many(
-        workload, parallel=workers, cache=cache
+        workload, parallel=workers, cache=cache, executor=executor
     )
     return time.perf_counter() - start, results
+
+
+def run_restart(
+    max_n: Optional[int] = None,
+    copies: int = 24,
+    workers: Optional[int] = None,
+    executor: Optional[str] = None,
+) -> dict:
+    """Measure the persistence layer: cold restart vs warm restart.
+
+    A mixed-shape serving batch is run by a fresh optimizer with
+    ``cache_path`` pointing at a nonexistent file (**cold restart** —
+    the first boot: every shape enumerates once, the batch autosaves),
+    then by a second fresh optimizer with the same config (**warm
+    restart** — the process came back: the cache auto-loads and the
+    very first query must already be a hit).
+    """
+    bases = [base for _shape, base in default_suite(max_n)]
+    batch = mixed_shapes_workload(bases, copies, seed=300)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "plan-cache.json")
+        config = OptimizerConfig(cache="on", cache_path=path)
+
+        cold_server = Optimizer(config)        # first boot: no file yet
+        cold_s, cold_results = _timed_batch(
+            cold_server, batch, workers, executor=executor
+        )
+        persisted_entries = len(cold_server.plan_cache)
+
+        warm_server = Optimizer(config)        # simulated restart
+        warm_s, warm_results = _timed_batch(
+            warm_server, batch, workers, executor=executor
+        )
+    events = [
+        result.stats.extra["plan_cache"]["event"] for result in warm_results
+    ]
+    drift = [
+        (cold.cost, warm.cost)
+        for cold, warm in zip(cold_results, warm_results)
+        if not math.isclose(cold.cost, warm.cost, rel_tol=1e-9)
+    ]
+    if drift:
+        raise AssertionError(
+            f"warm-restart costs diverged from cold restart: {drift[:3]}"
+        )
+    return {
+        "workload": "mixed-shapes-restart",
+        "shapes": [base.description for base in bases],
+        "n_queries": len(batch),
+        "persisted_entries": persisted_entries,
+        "cold_restart_s": round(cold_s, 6),
+        "warm_restart_s": round(warm_s, 6),
+        "cold_restart_qps": (
+            round(len(batch) / cold_s, 2) if cold_s else None
+        ),
+        "warm_restart_qps": (
+            round(len(batch) / warm_s, 2) if warm_s else None
+        ),
+        "restart_speedup": round(cold_s / warm_s, 3) if warm_s else None,
+        "first_query_event": events[0],
+        "warm_hit_rate": round(events.count("hit") / len(events), 4),
+    }
 
 
 def run_throughput(
@@ -100,6 +185,7 @@ def run_throughput(
     copies: int = 24,
     workers: Optional[int] = None,
     label: str = "",
+    executor: Optional[str] = None,
 ) -> dict:
     """Measure the repeated-workload suite; return the JSON document."""
     if copies < 2:
@@ -109,10 +195,14 @@ def run_throughput(
         batch = repeated_workload(base, copies, seed=100)
         optimizer = Optimizer(OptimizerConfig(cache="on"))
         cold_s, cold_results = _timed_batch(
-            optimizer, batch, workers, cache=False
+            optimizer, batch, workers, cache=False, executor=executor
         )
-        warm_s, _warm_results = _timed_batch(optimizer, batch, workers)
-        hot_s, hot_results = _timed_batch(optimizer, batch, workers)
+        warm_s, _warm_results = _timed_batch(
+            optimizer, batch, workers, executor=executor
+        )
+        hot_s, hot_results = _timed_batch(
+            optimizer, batch, workers, executor=executor
+        )
         counters = optimizer.plan_cache.counters()
         hot_events = [
             result.stats.extra["plan_cache"]["event"]
@@ -151,8 +241,10 @@ def run_throughput(
     base = default_suite(max_n)[0][1]
     batch = drifting_workload(base, copies, seed=200, distinct_stats=4)
     optimizer = Optimizer(OptimizerConfig(cache="on"))
-    warm_s, _ = _timed_batch(optimizer, batch, workers)
-    drift_s, drift_results = _timed_batch(optimizer, batch, workers)
+    warm_s, _ = _timed_batch(optimizer, batch, workers, executor=executor)
+    drift_s, drift_results = _timed_batch(
+        optimizer, batch, workers, executor=executor
+    )
     drift_events = [
         result.stats.extra["plan_cache"]["event"]
         for result in drift_results
@@ -180,8 +272,12 @@ def run_throughput(
         "platform": platform.platform(),
         "copies": copies,
         "workers": workers,
+        "executor": executor or "thread",
         "workloads": workloads,
         "drifting": drifting,
+        "restart": run_restart(
+            max_n=max_n, copies=copies, workers=workers, executor=executor
+        ),
         "min_speedup": round(
             min(entry["speedup"] for entry in workloads), 3
         ),
@@ -193,10 +289,10 @@ def validate_result(document: dict) -> None:
     for key in REQUIRED_KEYS:
         if key not in document:
             raise ValueError(f"throughput JSON missing key {key!r}")
-    if document["schema_version"] != SCHEMA_VERSION:
+    if document["schema_version"] not in SUPPORTED_SCHEMA_VERSIONS:
         raise ValueError(
-            f"schema_version {document['schema_version']!r} != "
-            f"{SCHEMA_VERSION}"
+            f"schema_version {document['schema_version']!r} not in "
+            f"{SUPPORTED_SCHEMA_VERSIONS}"
         )
     if not document["workloads"]:
         raise ValueError("throughput JSON has no workloads")
@@ -206,6 +302,16 @@ def validate_result(document: dict) -> None:
                 raise ValueError(
                     f"workload {entry.get('workload')!r} missing {key!r}"
                 )
+    if document["schema_version"] >= 2:
+        restart = document.get("restart")
+        if restart is None:
+            raise ValueError("throughput JSON missing key 'restart'")
+        for key in (
+            "cold_restart_qps", "warm_restart_qps", "restart_speedup",
+            "first_query_event", "persisted_entries",
+        ):
+            if key not in restart:
+                raise ValueError(f"restart section missing {key!r}")
 
 
 def render_summary(document: dict) -> str:
@@ -228,6 +334,15 @@ def render_summary(document: dict) -> str:
             f"  {drifting['workload']:>12}  hot={drifting['hot_qps']:>10} "
             f"q/s  hit_rate={drifting['hot_hit_rate']:.0%} "
             f"(stats drift across {drifting['distinct_stats']} versions)"
+        )
+    restart = document.get("restart")
+    if restart:
+        lines.append(
+            f"  restart: cold={restart['cold_restart_qps']:>9} q/s  "
+            f"warm={restart['warm_restart_qps']:>10} q/s  "
+            f"speedup={restart['restart_speedup']:.1f}x  "
+            f"first query after restart: {restart['first_query_event']} "
+            f"({restart['persisted_entries']} persisted entries)"
         )
     return "\n".join(lines)
 
@@ -256,7 +371,12 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--workers", type=int, default=None,
-        help="thread-pool width for optimize_many (default serial)",
+        help="worker-pool width for optimize_many (default serial for "
+             "threads, all CPUs for processes)",
+    )
+    parser.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="optimize_many backend to measure (default thread)",
     )
     parser.add_argument(
         "--label", default="", help="free-form label stored in the document"
@@ -266,6 +386,11 @@ def main(argv=None) -> int:
         help="fail (exit 1) when hot/cold speedup of any workload is "
              "below this factor (the CI gate)",
     )
+    parser.add_argument(
+        "--min-restart-speedup", type=float, default=None,
+        help="fail (exit 1) when the warm-restart pass is not this many "
+             "times faster than the cold restart (the persistence gate)",
+    )
     args = parser.parse_args(argv)
 
     document = run_throughput(
@@ -273,6 +398,7 @@ def main(argv=None) -> int:
         copies=args.copies,
         workers=args.workers,
         label=args.label,
+        executor=args.executor,
     )
     validate_result(document)
     print(render_summary(document))
@@ -298,5 +424,25 @@ def main(argv=None) -> int:
         print(
             f"hot cache beats cold by >= {args.min_speedup}x on every "
             "workload"
+        )
+    if args.min_restart_speedup is not None:
+        restart = document["restart"]
+        failed = (
+            restart["restart_speedup"] is None
+            or restart["restart_speedup"] < args.min_restart_speedup
+            or restart["first_query_event"] != "hit"
+        )
+        if failed:
+            print(
+                f"PERSISTENCE REGRESSION: warm restart only "
+                f"{restart['restart_speedup']}x faster than cold restart "
+                f"(required {args.min_restart_speedup}x), first query "
+                f"event: {restart['first_query_event']}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"warm restart beats cold restart by >= "
+            f"{args.min_restart_speedup}x and starts with a cache hit"
         )
     return 0

@@ -8,12 +8,25 @@ epoch-aware LRU (:mod:`repro.cache.plan_cache`) serves isomorphic
 repeats by replaying the recipe through the requesting query's own
 plan builder.
 
+Two process boundaries are first-class (:mod:`repro.cache.persist`):
+the cache serializes to a versioned on-disk document, so a restarted
+server starts warm (``OptimizerConfig(cache_path=...)``), and the same
+document format ships read-only warm-up snapshots to
+``optimize_many(executor="process")`` workers.
+
 The :class:`~repro.optimizer.Optimizer` pipeline wires these together;
 this package has no dependency on the facade and can be reused by
-other serving layers (e.g. a future cross-process cache).
+other serving layers (e.g. a future cross-process shared store).
 """
 
 from .keys import KEY_VERSION, CacheKeyInfo, build_cache_key, structure_bucket
+from .persist import (
+    CachePersistenceWarning,
+    dump_document,
+    load,
+    restore_document,
+    save,
+)
 from .plan_cache import DEFAULT_CAPACITY, CacheEntry, PlanCache
 from .recipe import PlanRecipe, plan_recipe, replay_recipe
 
@@ -22,6 +35,11 @@ __all__ = [
     "CacheKeyInfo",
     "build_cache_key",
     "structure_bucket",
+    "CachePersistenceWarning",
+    "dump_document",
+    "load",
+    "restore_document",
+    "save",
     "DEFAULT_CAPACITY",
     "CacheEntry",
     "PlanCache",

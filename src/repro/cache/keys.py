@@ -19,6 +19,19 @@ The serving layer separates three ingredients of plan identity:
 The annotated canonical form also yields the node permutation used to
 store/replay plan recipes in canonical space (see
 :mod:`repro.cache.recipe`).
+
+Thread-safety: everything here is a pure function of its arguments —
+no module state, no graph mutation — so keys may be built concurrently
+from any number of optimizer threads.
+
+Pickle-safety: keys are nested tuples of ints, floats, and strings
+(and :class:`CacheKeyInfo` a frozen dataclass of the same), so they
+cross process boundaries and survive the persistence layer's
+``repr``/``literal_eval`` round-trip exactly.  :data:`KEY_VERSION` is
+the compatibility fuse: it is baked into every key *and* into the
+on-disk document header, so entries built under different key or
+replay semantics are structurally unable to be served (see
+``docs/cache.md`` for the bump discipline).
 """
 
 from __future__ import annotations

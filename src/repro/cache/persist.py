@@ -1,0 +1,279 @@
+"""On-disk persistence for the plan cache: warm restarts.
+
+A :class:`~repro.cache.plan_cache.PlanCache` dies with its process;
+this module serializes it so a restarted server serves its first
+repeated query as a cache hit.  The format is a JSON **document** (one
+object, human-inspectable) whose entry keys and recipes — nested
+tuples of ints, floats, and strings by construction — are stored as
+``repr`` strings and parsed back with :func:`ast.literal_eval`.  That
+round-trip is exact for the tuple grammar the cache uses and, unlike
+``pickle``, cannot execute code from a tampered or corrupt file.
+
+Versioning discipline (see ``docs/cache.md``):
+
+* the document carries a ``format_version`` (layout of this file) and
+  the :data:`~repro.cache.keys.KEY_VERSION` under which every key was
+  built.  A mismatch on either rejects the whole file — old entries
+  must never be served by code with different key or replay semantics;
+* the document carries the cache's statistics ``epoch`` at save time
+  and every entry its own epoch stamp.  Entries that were already
+  stale when saved (``entry epoch != document epoch``) are skipped on
+  load; survivors enter the new cache fresh at *its* current epoch.
+
+Failure policy: loading is **total**.  A missing file is a normal cold
+start; anything else wrong — truncated JSON, a foreign file, a stale
+version, an unparsable entry — degrades to a cold (or partial) cache
+with a :class:`CachePersistenceWarning`, never an exception.  A plan
+cache is an accelerator; corruption must not take the server down.
+
+Thread-safety: :func:`dump_document` snapshots under the cache's own
+lock and :func:`save` writes atomically (temp file + ``os.replace``),
+so concurrent optimizer threads see either the old or the new file.
+Concurrent *writers* to one path last-write-win; give each server
+process its own ``cache_path`` if that matters.
+
+Pickle-safety: documents are plain dicts of JSON scalars, safe to ship
+through ``multiprocessing`` — the process-pool backend hands one to
+each worker as its read-only warm-up snapshot.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import tempfile
+import warnings
+from typing import Any, Optional
+
+from ..core.identity import is_process_scoped
+from .keys import KEY_VERSION
+from .plan_cache import CacheEntry, PlanCache
+
+#: magic marker distinguishing plan-cache files from arbitrary JSON
+FORMAT_NAME = "repro-plan-cache"
+
+#: bump when the *document* layout changes incompatibly (independent of
+#: KEY_VERSION, which tracks the key/recipe semantics themselves)
+FORMAT_VERSION = 1
+
+
+class CachePersistenceWarning(UserWarning):
+    """A cache file could not be (fully) used; serving continues cold."""
+
+
+def _warn(message: str) -> None:
+    warnings.warn(message, CachePersistenceWarning, stacklevel=3)
+
+
+# -- serialization -----------------------------------------------------------
+
+
+def dump_document(cache: PlanCache) -> dict:
+    """Snapshot ``cache`` as a plain-dict document (JSON-serializable).
+
+    Entries are emitted LRU-first with their epoch stamps; the
+    document-level ``epoch`` is the cache's current one, so a loader
+    can tell which entries were already stale at save time.
+    """
+    entries = []
+    for key, entry in cache.snapshot_entries():
+        entries.append({
+            "key": repr(key),
+            "recipe": repr(entry.recipe),
+            "epoch": entry.epoch,
+            "structure": entry.structure,
+            "cost": entry.cost,
+        })
+    return {
+        "format": FORMAT_NAME,
+        "format_version": FORMAT_VERSION,
+        "key_version": KEY_VERSION,
+        "epoch": cache.epoch,
+        "capacity": cache.capacity,
+        "entries": entries,
+    }
+
+
+def save(cache: PlanCache, path: str) -> int:
+    """Atomically write ``cache`` to ``path``; return the entry count.
+
+    The document is written to a temp file in the destination
+    directory and moved into place with :func:`os.replace`, so readers
+    never observe a half-written file.
+
+    Entries whose keys are **process-scoped** (identity-keyed cost
+    models, replaced solver registrations — see
+    :mod:`repro.core.identity`) are excluded: their tokens mean
+    nothing in another process lifetime, and a token-counter collision
+    after a restart could serve a plan computed under a different cost
+    function or solver.  They keep working in-memory (and in forked
+    workers); they simply die with the process.
+    """
+    document = dump_document(cache)
+    document["entries"] = [
+        entry for entry in document["entries"]
+        if not is_process_scoped(entry["key"])
+    ]
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        "w", dir=directory, prefix=".plan-cache-", suffix=".tmp",
+        delete=False,
+    )
+    try:
+        with handle:
+            json.dump(document, handle, indent=1)
+            handle.write("\n")
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+    return len(document["entries"])
+
+
+# -- deserialization ---------------------------------------------------------
+
+
+def _parse_strict(
+    document: Any,
+    capacity: Optional[int],
+    allow_process_scoped: bool = False,
+) -> PlanCache:
+    """Rebuild a cache from a document; raise ``ValueError`` on trouble.
+
+    Per-entry problems (unparsable repr, wrong embedded key version,
+    stale epoch stamp) skip the entry; document-level problems (wrong
+    format marker, format version, or key version) reject the file.
+
+    ``allow_process_scoped`` distinguishes the two consumers: in-memory
+    snapshots restored *within* one process lifetime (the process-pool
+    warm-up; forked workers share the parent's nonce) keep
+    process-scoped keys, while on-disk loads drop them silently —
+    another lifetime's identity tokens can never match and must never
+    be probed.
+    """
+    if not isinstance(document, dict):
+        raise ValueError("cache document is not a JSON object")
+    if document.get("format") != FORMAT_NAME:
+        raise ValueError(
+            f"not a plan-cache file (format={document.get('format')!r})"
+        )
+    if document.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"cache file format_version {document.get('format_version')!r} "
+            f"!= supported {FORMAT_VERSION}"
+        )
+    if document.get("key_version") != KEY_VERSION:
+        raise ValueError(
+            f"cache file key_version {document.get('key_version')!r} != "
+            f"current {KEY_VERSION}; entries from other key semantics "
+            "must never be served"
+        )
+    saved_epoch = document.get("epoch", 0)
+    if capacity is None:
+        try:
+            capacity = int(document.get("capacity") or 0) or None
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"cache file capacity {document.get('capacity')!r} is not "
+                "an integer"
+            ) from None
+    cache = PlanCache(capacity) if capacity else PlanCache()
+    raw_entries = document.get("entries", [])
+    if not isinstance(raw_entries, list):
+        raise ValueError("cache file 'entries' is not a list")
+    items = []
+    skipped = 0
+    for raw in raw_entries:
+        try:
+            if raw["epoch"] != saved_epoch:
+                skipped += 1  # stale at save time: statistics moved on
+                continue
+            if not allow_process_scoped and is_process_scoped(raw["key"]):
+                # Another lifetime's identity tokens: unreachable by
+                # construction, dropped without a warning (save()
+                # filters them, so these only occur in foreign files).
+                continue
+            key = ast.literal_eval(raw["key"])
+            recipe = ast.literal_eval(raw["recipe"])
+            if (
+                not isinstance(key, tuple)
+                or not key
+                or key[0] != KEY_VERSION
+            ):
+                skipped += 1
+                continue
+            structure = raw.get("structure")
+            cost = raw.get("cost")
+        except (KeyError, TypeError, ValueError, SyntaxError,
+                MemoryError, RecursionError):
+            skipped += 1
+            continue
+        items.append((key, recipe, structure, cost))
+    if skipped:
+        _warn(
+            f"plan-cache load skipped {skipped} stale or unparsable "
+            f"entr{'y' if skipped == 1 else 'ies'}"
+        )
+    cache.absorb(items)
+    return cache
+
+
+def restore_document(
+    document: Any, capacity: Optional[int] = None
+) -> PlanCache:
+    """Lenient :func:`_parse_strict`: warn and return a cold cache.
+
+    The in-memory counterpart of :func:`load`, used for process-pool
+    warm-up snapshots (which skip the filesystem round-trip and —
+    staying within one process lifetime — keep process-scoped keys).
+    """
+    try:
+        return _parse_strict(document, capacity, allow_process_scoped=True)
+    except ValueError as exc:
+        _warn(f"ignoring plan-cache snapshot: {exc}")
+        return PlanCache(capacity) if capacity else PlanCache()
+
+
+def load(
+    path: str,
+    capacity: Optional[int] = None,
+    missing_ok: bool = True,
+) -> PlanCache:
+    """Load a cache from ``path``; degrade to a cold cache on trouble.
+
+    Args:
+        path: file written by :func:`save`.
+        capacity: LRU capacity of the rebuilt cache (default: the
+            capacity recorded in the file).
+        missing_ok: a nonexistent path is a silent cold start (the
+            normal first boot of a server with ``cache_path``
+            configured); with ``False`` it warns like any other
+            failure.
+
+    Never raises on bad input: corrupt JSON, foreign files, stale
+    ``format_version``/``key_version``, or unreadable entries produce
+    a :class:`CachePersistenceWarning` and a cold (or partial) cache.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except FileNotFoundError:
+        if not missing_ok:
+            _warn(f"plan-cache file {path!r} does not exist; starting cold")
+        return PlanCache(capacity) if capacity else PlanCache()
+    except (OSError, ValueError, UnicodeDecodeError,
+            RecursionError, MemoryError) as exc:
+        # RecursionError/MemoryError: pathologically nested or huge
+        # JSON — corruption class, same cold-start policy
+        _warn(f"ignoring unreadable plan-cache file {path!r}: {exc}")
+        return PlanCache(capacity) if capacity else PlanCache()
+    try:
+        return _parse_strict(document, capacity)
+    except ValueError as exc:
+        _warn(f"ignoring plan-cache file {path!r}: {exc}")
+        return PlanCache(capacity) if capacity else PlanCache()

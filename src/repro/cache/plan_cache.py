@@ -9,9 +9,21 @@ directly — replay is what lets one entry serve every isomorphic
 relabeling of a query with correct relation names, payloads, and
 statistics.
 
-Concurrency: all mutating operations take an internal lock, so a
+Thread-safety: all mutating operations take an internal lock, so a
 single :class:`PlanCache` can back a thread-pool
 ``Optimizer.optimize_many`` batch (and be shared across optimizers).
+The counters are plain ints updated under the lock and read without it
+(reads may be momentarily out of date, never corrupt).
+
+Pickle-safety: a :class:`PlanCache` is **not** picklable — it owns a
+``threading.Lock``.  Cross-process transfer goes through
+:mod:`repro.cache.persist`: :func:`~repro.cache.persist.dump_document`
+produces a plain-dict snapshot (picklable and JSON-serializable) and
+:func:`~repro.cache.persist.restore_document` rebuilds a cache from
+it.  The *contents* — keys (nested tuples of ints/strings/floats) and
+recipes (nested int tuples) — are picklable by construction; that
+invariant is what the persistence layer's ``repr``/``literal_eval``
+round-trip relies on.
 
 Statistics epochs: callers that refresh their catalog statistics call
 :meth:`PlanCache.bump_epoch`.  Entries written under an older epoch
@@ -57,7 +69,9 @@ class PlanCache:
     * ``revalidations`` — lookups that found an entry from an older
       statistics epoch (the caller recomputes and refreshes);
     * ``evictions`` — entries dropped by the LRU bound;
-    * ``stores`` — entries written (insert or refresh).
+    * ``stores`` — entries written (insert or refresh);
+    * ``restored`` — entries bulk-inserted by the persistence layer
+      (:meth:`absorb` — disk loads and process-pool warm-ups).
     """
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
@@ -73,6 +87,12 @@ class PlanCache:
         self.evictions = 0
         self.stores = 0
         self.replay_failures = 0
+        self.restored = 0
+        #: monotone content-change counter (stores, restores, drops,
+        #: epoch bumps, clears).  Pure lookups never bump it, so
+        #: persistence can skip rewriting an unchanged cache: a warm
+        #: serving loop autosaves only when something actually moved.
+        self.mutations = 0
 
     # -- core operations -------------------------------------------------
 
@@ -94,6 +114,23 @@ class PlanCache:
                 return None, "stale"
             self._entries.move_to_end(key)
             self.hits += 1
+            return entry, "hit"
+
+    def peek(self, key: Any) -> tuple[Optional[CacheEntry], str]:
+        """:meth:`probe` without side effects: no counters, no LRU move.
+
+        For speculative scheduling decisions — e.g. the process-pool
+        backend peeks before shipping work to a worker so an
+        already-cached query is served in the parent instead.  The
+        serving path must still call :meth:`probe` so the hit is
+        counted and the entry keeps its LRU position.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None, "miss"
+            if entry.epoch != self._epoch:
+                return None, "stale"
             return entry, "hit"
 
     def lookup(self, key: Any) -> Optional[CacheEntry]:
@@ -122,9 +159,65 @@ class PlanCache:
             )
             self._entries.move_to_end(key)
             self.stores += 1
+            self.mutations += 1
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+
+    # -- persistence hooks ------------------------------------------------
+
+    def snapshot_entries(self) -> list[tuple[Any, CacheEntry]]:
+        """Consistent copy of the entries, LRU-first.
+
+        Used by :mod:`repro.cache.persist` (on-disk serialization) and
+        by the process-pool warm-up snapshot.  Entry objects are
+        copied, so mutating the returned list never touches the live
+        cache; order is eviction order (least recently used first), so
+        replaying the list through :meth:`absorb` preserves LRU
+        priority.
+        """
+        with self._lock:
+            return [
+                (
+                    key,
+                    CacheEntry(
+                        recipe=entry.recipe,
+                        epoch=entry.epoch,
+                        structure=entry.structure,
+                        cost=entry.cost,
+                    ),
+                )
+                for key, entry in self._entries.items()
+            ]
+
+    def absorb(
+        self, items: "list[tuple[Any, Any, Optional[str], Optional[float]]]"
+    ) -> int:
+        """Bulk-insert ``(key, recipe, structure, cost)`` restored entries.
+
+        The persistence path: entries are inserted *fresh at the
+        current epoch* (the loader already filtered stale ones) in the
+        order given, trimming from the LRU end when capacity is
+        exceeded — so absorbing an LRU-first snapshot keeps the most
+        recently used entries.  Counted in ``restored``, not
+        ``stores``/``evictions``, so serving counters stay comparable
+        across a save/load cycle.  Returns the number of entries
+        resident after the absorb.
+        """
+        with self._lock:
+            for key, recipe, structure, cost in items:
+                self._entries[key] = CacheEntry(
+                    recipe=recipe,
+                    epoch=self._epoch,
+                    structure=structure,
+                    cost=cost,
+                )
+                self._entries.move_to_end(key)
+                self.restored += 1
+                self.mutations += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+            return len(self._entries)
 
     def note_replay_failure(self, key: Any) -> None:
         """Reclassify a just-served hit whose recipe failed to replay.
@@ -139,6 +232,7 @@ class PlanCache:
             self.misses += 1
             self.replay_failures += 1
             self._entries.pop(key, None)
+            self.mutations += 1
 
     # -- invalidation ----------------------------------------------------
 
@@ -155,6 +249,7 @@ class PlanCache:
         """
         with self._lock:
             self._epoch += 1
+            self.mutations += 1
             return self._epoch
 
     def invalidate_structure(self, structure: str) -> int:
@@ -166,11 +261,14 @@ class PlanCache:
             ]
             for key in doomed:
                 del self._entries[key]
+            if doomed:
+                self.mutations += 1
             return len(doomed)
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self.mutations += 1
 
     # -- introspection ---------------------------------------------------
 
@@ -202,6 +300,7 @@ class PlanCache:
             "evictions": self.evictions,
             "stores": self.stores,
             "replay_failures": self.replay_failures,
+            "restored": self.restored,
             "size": len(self._entries),
             "capacity": self.capacity,
             "epoch": self._epoch,

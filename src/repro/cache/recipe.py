@@ -16,6 +16,19 @@ Cost and cardinality therefore come out exact for the requester — a
 replayed plan is bit-identical to what a fresh enumeration would have
 returned for that join order — in O(plan size) instead of an
 exponential enumeration.
+
+Thread-safety: :func:`plan_recipe` and :func:`replay_recipe` are pure
+functions over their arguments; concurrent replays against one shared
+graph are safe because replay only *reads* the graph (via
+``connecting_edges``) and builds fresh :class:`Plan` objects.
+
+Pickle-safety: a recipe is nested tuples of ints — picklable, JSON- and
+``repr``-round-trippable — which is exactly why recipes (not
+:class:`Plan` objects) are what the persistence layer writes to disk
+and what ``optimize_many(executor="process")`` workers send back to
+the parent.  Anything that widens :data:`PlanRecipe` beyond plain
+literals must keep :mod:`repro.cache.persist` and the process-pool
+protocol in sync.
 """
 
 from __future__ import annotations

@@ -36,6 +36,21 @@ the ``canonical`` flag records which case occurred.
 Nothing in this module mutates the graph; it operates on the plain
 ``(n_nodes, [(left, right, flex)], colors)`` description handed over by
 :meth:`repro.core.hypergraph.Hypergraph.canonical_form`.
+
+Thread-safety: canonicalization is a pure function — no module-level
+caches, no mutation of inputs — so any number of optimizer threads
+(and ``optimize_many`` workers) may canonicalize concurrently, even
+the same graph object.
+
+Pickle-safety: :class:`CanonicalForm` is a frozen dataclass of a hex
+string, an int tuple, and a bool, so forms pickle cleanly across
+process boundaries.  More importantly the *digest is deterministic
+across processes and interpreter restarts* (SHA-256 over a
+canonical encoding; no ``hash()`` randomization anywhere), which is
+what makes plan-cache keys meaningful in a file written by one process
+and read by another.  The plan-cache persistence layer
+(:mod:`repro.cache.persist`) and the process-pool warm-up snapshots
+load-bear on this guarantee.
 """
 
 from __future__ import annotations

@@ -19,9 +19,15 @@ from __future__ import annotations
 import itertools
 import threading
 
+from ..core.identity import process_token
+
 #: monotone tokens for the identity-keyed cache_key fallback; unlike
 #: ``id()`` these are never reused after garbage collection, so a
-#: cached plan can never be served to a *different* model instance
+#: cached plan can never be served to a *different* model instance.
+#: They are branded process-scoped (see :mod:`repro.core.identity`):
+#: instance identity means nothing in another process, so keys built
+#: from these tokens are never persisted and can never collide with a
+#: restarted server's counters.
 _INSTANCE_TOKENS = itertools.count()
 #: guards the lazy token assignment — one model instance may be
 #: fingerprinted concurrently by optimize_many worker threads and must
@@ -61,9 +67,9 @@ class CostModel:
             with _TOKEN_LOCK:
                 token = vars(self).get("_cache_token")
                 if token is None:
-                    token = next(_INSTANCE_TOKENS)
+                    token = process_token(f"instance:{next(_INSTANCE_TOKENS)}")
                     self._cache_token = token
-        return base + ("instance", token)
+        return base + (token,)
 
 
 class CoutModel(CostModel):

@@ -31,7 +31,9 @@ wrappers over this facade.
 
 from __future__ import annotations
 
+import os
 import threading
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, Union
 
@@ -44,6 +46,8 @@ from .cache import (
     replay_recipe,
     structure_bucket,
 )
+from .cache import persist
+from .cache.persist import CachePersistenceWarning
 from .core.dphyp import DPhyp, solve_dphyp
 from .core.hypergraph import (
     DisconnectedGraphError,
@@ -58,8 +62,10 @@ from .registry import (
     AlgorithmInfo,
     check_capabilities,
     get_algorithm,
-    registration_token,
+    registration_fingerprint,
+    restore_registrations,
     select_auto,
+    snapshot_registrations,
 )
 
 
@@ -413,8 +419,11 @@ class FingerprintStage:
         # configured name): replacing a solver via
         # register_algorithm(replace=True), or an "auto" resolution
         # change after new registrations, must never serve plans the
-        # previous solver computed.
-        resolved = (ctx.info.name, registration_token(ctx.info.name))
+        # previous solver computed.  The fingerprint is restart-stable
+        # for never-replaced names, so such keys may be persisted;
+        # replaced names yield process-scoped keys the persistence
+        # layer refuses (see repro.core.identity).
+        resolved = registration_fingerprint(ctx.info.name)
         ctx.key_info = build_cache_key(
             ctx.graph,
             ctx.resolved_cardinalities,
@@ -609,9 +618,29 @@ class OptimizerConfig:
         cache_size: LRU capacity of the optimizer-owned
             :class:`~repro.cache.plan_cache.PlanCache` (ignored when a
             shared cache is injected via ``Optimizer(plan_cache=...)``).
-        parallel_workers: default thread count for
-            :meth:`Optimizer.optimize_many` (``None``/``1`` = serial;
-            results keep input order either way).
+        cache_path: persistence file for the plan cache.  When set,
+            the optimizer-owned cache is **auto-loaded** from this path
+            on first use (a missing file is a normal cold start) and
+            **auto-saved** back after every :meth:`Optimizer.
+            optimize_many` batch (see ``cache_autosave``), so a
+            restarted server serves its first repeated query as a
+            cache hit.  Corrupt or version-stale files degrade to a
+            cold cache with a :class:`~repro.cache.persist.
+            CachePersistenceWarning`, never an exception.
+        cache_autosave: autosave the cache to ``cache_path`` at the
+            end of each ``optimize_many`` batch (default on; explicit
+            :meth:`Optimizer.save_cache` always works).
+        parallel_workers: default worker count for
+            :meth:`Optimizer.optimize_many` (``None``/``1`` = serial
+            for the thread executor, all CPUs for the process
+            executor; results keep input order either way).
+        executor: default ``optimize_many`` backend — ``"thread"``
+            (shared-memory, GIL-bound; fine for replay-dominated hot
+            workloads) or ``"process"`` (a ``ProcessPoolExecutor``
+            sidesteps the GIL for enumeration-heavy batches; workers
+            are warmed from a snapshot of the shared cache and return
+            compact plan recipes that the parent replays — see
+            ``docs/cache.md``).
         pipeline: the five pipeline stage components; replace
             individual stages via
             ``PipelineStages(dispatch=MyDispatch())``.
@@ -627,7 +656,10 @@ class OptimizerConfig:
     memoize_neighborhoods: bool = True
     cache: str = "auto"
     cache_size: int = DEFAULT_CAPACITY
+    cache_path: Optional[str] = None
+    cache_autosave: bool = True
     parallel_workers: Optional[int] = None
+    executor: str = "thread"
     pipeline: PipelineStages = DEFAULT_PIPELINE
 
     def __post_init__(self) -> None:
@@ -647,6 +679,8 @@ class OptimizerConfig:
             raise ValueError("cache_size must be at least 1")
         if self.parallel_workers is not None and self.parallel_workers < 1:
             raise ValueError("parallel_workers must be None or >= 1")
+        if self.executor not in ("thread", "process"):
+            raise ValueError("executor must be 'thread' or 'process'")
         if self.algorithm != "auto":
             get_algorithm(self.algorithm)  # raises on unknown names
 
@@ -660,9 +694,10 @@ class OptimizerConfig:
         excluded: ``default_cardinality`` (materialized into the
         statistics signature during normalization), ``on_disconnected``
         (already applied to the graph before fingerprinting), the
-        correctness-neutral DPhyp knobs, and the cache/parallel/
-        pipeline plumbing itself — so configs differing only in
-        plumbing share entries.  Custom pipeline stages that change
+        correctness-neutral DPhyp knobs, and the cache/persistence/
+        executor/pipeline plumbing itself — so configs differing only
+        in plumbing share entries (and a persisted cache file is
+        readable regardless of executor or autosave settings).  Custom pipeline stages that change
         planning semantics must therefore use a dedicated cache (or
         ``cache="off"``).
         """
@@ -821,15 +856,83 @@ class Optimizer:
         self.config = config
         self._plan_cache = plan_cache
         self._plan_cache_lock = threading.Lock()
+        #: (cache id, mutation count) at the last (auto)save; lets a
+        #: fully-warm serving loop skip rewriting an unchanged file
+        self._autosave_marker: Optional[tuple] = None
 
     @property
     def plan_cache(self) -> PlanCache:
-        """This optimizer's plan cache (lazily created, injectable)."""
+        """This optimizer's plan cache (lazily created, injectable).
+
+        With ``OptimizerConfig(cache_path=...)`` set, first access
+        auto-loads the persisted cache from disk — the warm-restart
+        path.  A missing file is a silent cold start; a corrupt or
+        version-stale file warns and starts cold.
+        """
         if self._plan_cache is None:
             with self._plan_cache_lock:
                 if self._plan_cache is None:
-                    self._plan_cache = PlanCache(self.config.cache_size)
+                    path = self.config.cache_path
+                    if path is not None:
+                        cache = persist.load(
+                            path, capacity=self.config.cache_size
+                        )
+                        # the loaded content IS the file content: the
+                        # first batch after a warm restart must not
+                        # rewrite an identical file
+                        self._autosave_marker = (id(cache), cache.mutations)
+                        self._plan_cache = cache
+                    else:
+                        self._plan_cache = PlanCache(self.config.cache_size)
         return self._plan_cache
+
+    def save_cache(self, path: Optional[str] = None) -> int:
+        """Persist the plan cache now; return the entry count written.
+
+        ``path`` defaults to ``OptimizerConfig.cache_path``.  Batches
+        already autosave (``cache_autosave``); call this for explicit
+        checkpoints or ad-hoc paths.
+        """
+        path = path if path is not None else self.config.cache_path
+        if path is None:
+            raise ValueError(
+                "no path: pass save_cache(path) or configure "
+                "OptimizerConfig(cache_path=...)"
+            )
+        cache = self.plan_cache
+        marker = (id(cache), cache.mutations)
+        written = persist.save(cache, path)
+        if path == self.config.cache_path:
+            self._autosave_marker = marker
+        return written
+
+    def _autosave(self, cache: Optional[PlanCache]) -> None:
+        """Best-effort batch-end autosave (never fails the batch).
+
+        Skipped entirely when the cache content has not changed since
+        the last save — a fully-warm serving loop does pure lookups,
+        which never bump ``PlanCache.mutations``, so steady state pays
+        no serialization or disk I/O.
+        """
+        if (
+            cache is None
+            or self.config.cache_path is None
+            or not self.config.cache_autosave
+        ):
+            return
+        marker = (id(cache), cache.mutations)
+        if marker == self._autosave_marker:
+            return
+        try:
+            persist.save(cache, self.config.cache_path)
+            self._autosave_marker = marker
+        except OSError as exc:
+            warnings.warn(
+                f"plan-cache autosave to "
+                f"{self.config.cache_path!r} failed: {exc}",
+                CachePersistenceWarning,
+                stacklevel=3,
+            )
 
     # -- public API ------------------------------------------------------
 
@@ -861,6 +964,7 @@ class Optimizer:
         queries: Iterable,
         parallel: Optional[int] = None,
         cache: Optional[bool] = None,
+        executor: Optional[str] = None,
     ) -> list[OptimizationResult]:
         """Optimize a batch; results are in input order.
 
@@ -868,16 +972,28 @@ class Optimizer:
         share this optimizer's plan cache (default on; disable with
         ``cache=False`` or ``OptimizerConfig(cache="off")``), so
         repeats and isomorphic relabelings are served by recipe replay
-        instead of re-enumeration.
+        instead of re-enumeration.  With ``cache_path`` configured the
+        shared cache is autosaved at the end of the batch.
 
         Args:
             queries: any mix of supported query representations.
-            parallel: worker threads (default
-                ``OptimizerConfig.parallel_workers``; ``None``/``1`` =
-                serial).  Result order is input order regardless of
-                completion order, so serial and parallel runs are
-                interchangeable.
+            parallel: worker count (default
+                ``OptimizerConfig.parallel_workers``).  For the thread
+                executor ``None``/``1`` means serial; the process
+                executor defaults to all CPUs.  Result order is input
+                order regardless of completion order, so serial and
+                parallel runs are interchangeable.
             cache: per-call override of the config's cache policy.
+            executor: ``"thread"`` (default) or ``"process"``; the
+                per-call override of ``OptimizerConfig.executor``.  The
+                process backend sidesteps the GIL: queries are shipped
+                to worker processes (warmed from a read-only snapshot
+                of the shared cache), plans come back as compact
+                recipes, and the parent replays them so the shared
+                cache is populated once.  Results are identical to the
+                thread backend's; operator-tree queries are optimized
+                in the parent (their compiled plans are not
+                recipe-portable).
         """
         items = list(queries)
         if not items:
@@ -891,21 +1007,183 @@ class Optimizer:
             parallel if parallel is not None
             else self.config.parallel_workers
         )
-        if workers is not None and workers > 1 and len(items) > 1:
-            from concurrent.futures import ThreadPoolExecutor
+        mode = executor if executor is not None else self.config.executor
+        if mode not in ("thread", "process"):
+            raise ValueError("executor must be 'thread' or 'process'")
+        try:
+            if mode == "process" and len(items) > 1:
+                return self._optimize_many_process(items, shared, workers)
+            if workers is not None and workers > 1 and len(items) > 1:
+                from concurrent.futures import ThreadPoolExecutor
 
-            with ThreadPoolExecutor(
-                max_workers=min(workers, len(items))
+                with ThreadPoolExecutor(
+                    max_workers=min(workers, len(items))
+                ) as pool:
+                    return list(pool.map(
+                        lambda query: self._run_pipeline(
+                            query, None, None, shared
+                        ),
+                        items,
+                    ))
+            return [
+                self._run_pipeline(query, None, None, shared)
+                for query in items
+            ]
+        finally:
+            self._autosave(shared)
+
+    def _optimize_many_process(
+        self,
+        items: list,
+        shared: Optional[PlanCache],
+        workers: Optional[int],
+    ) -> list[OptimizationResult]:
+        """The ``executor="process"`` backend of :meth:`optimize_many`.
+
+        Work units are the (picklable) queries themselves; each worker
+        process owns one Optimizer plus a process-local cache warmed
+        from a read-only snapshot of the parent's shared cache, and
+        returns the computed join order as an identity-space recipe.
+        The parent replays every recipe through the requesting query's
+        own builder — exact costs and names, and the *shared* cache is
+        populated once, by the parent, in deterministic input order.
+
+        Queries already present in the shared cache are served in the
+        parent without touching the pool (a fully warm batch spawns no
+        processes at all); only actual cache misses are shipped.
+        """
+        import pickle
+        from concurrent.futures import ProcessPoolExecutor
+
+        from .algebra.optree import TreeNode  # local: avoid import cycle
+
+        results: list = [None] * len(items)
+        offload = []
+        for index, query in enumerate(items):
+            if isinstance(query, TreeNode):
+                continue
+            ctx, served = self._probe_for_process_batch(query, shared)
+            if served is not None:
+                results[index] = served
+            else:
+                # the prepared context rides along so absorbing the
+                # worker payload does not normalize/fingerprint again
+                offload.append((index, query, ctx))
+        if offload:
+            try:
+                config_blob = pickle.dumps(self.config)
+            except Exception as exc:
+                raise ValueError(
+                    'optimize_many(executor="process") needs a picklable '
+                    "OptimizerConfig; custom cost models and pipeline "
+                    "stages must be module-level classes "
+                    f"(pickling failed with: {exc})"
+                ) from exc
+            snapshot = (
+                persist.dump_document(shared)
+                if shared is not None and len(shared) else None
+            )
+            if workers is None:
+                workers = os.cpu_count() or 1
+            n_workers = max(1, min(workers, len(offload)))
+            chunksize = max(1, len(offload) // (n_workers * 4))
+            with ProcessPoolExecutor(
+                max_workers=n_workers,
+                initializer=_process_worker_init,
+                initargs=(
+                    config_blob,
+                    snapshot,
+                    snapshot_registrations(),
+                    shared is not None,
+                ),
             ) as pool:
-                return list(pool.map(
-                    lambda query: self._run_pipeline(
-                        query, None, None, shared
-                    ),
-                    items,
-                ))
-        return [
-            self._run_pipeline(query, None, None, shared) for query in items
-        ]
+                payloads = pool.map(
+                    _process_worker_run,
+                    [query for _index, query, _ctx in offload],
+                    chunksize=chunksize,
+                )
+                for (index, _query, ctx), payload in zip(offload, payloads):
+                    results[index] = self._absorb_recipe(ctx, payload)
+        for index, query in enumerate(items):
+            if isinstance(query, TreeNode):
+                results[index] = self._run_pipeline(query, None, None, shared)
+        return results
+
+    def _probe_for_process_batch(
+        self, query, cache: Optional[PlanCache]
+    ) -> "tuple[PipelineContext, Optional[OptimizationResult]]":
+        """Prepare ``query`` and serve it from ``cache`` if present.
+
+        Runs normalize + fingerprint once, then a side-effect-free
+        :meth:`~repro.cache.plan_cache.PlanCache.peek`; only a
+        confirmed fresh entry runs the real (counted) lookup + replay,
+        so misses stay uncounted here and are counted exactly once
+        later, when the worker payload is absorbed — the counter
+        evolution matches a serial run.  Returns ``(ctx, result)``:
+        ``result`` is ``None`` (meaning: ship it to a worker) for
+        misses, stale entries, uncacheable queries, and replay
+        failures, and the prepared ``ctx`` is reused by
+        :meth:`_absorb_recipe` so no query is normalized or
+        canonicalized twice.
+        """
+        stages = self.config.pipeline
+        ctx = PipelineContext(
+            config=self.config,
+            query=query,
+            cardinalities=None,
+            builder_arg=None,
+            cache=cache,
+        )
+        stages.normalize(ctx)
+        stages.fingerprint(ctx)
+        if cache is None or ctx.key_info is None:
+            return ctx, None
+        _entry, status = cache.peek(ctx.key_info.key)
+        if status != "hit":
+            return ctx, None
+        stages.cache.lookup(ctx)
+        if not ctx.cache_hit:
+            return ctx, None
+        return ctx, stages.finalize(ctx)
+
+    def _absorb_recipe(
+        self,
+        ctx: PipelineContext,
+        payload: dict,
+    ) -> OptimizationResult:
+        """Turn one worker payload into a parent-side result.
+
+        ``ctx`` is the already-prepared context from
+        :meth:`_probe_for_process_batch` (normalize + fingerprint done,
+        peek said miss).  The counted cache lookup happens here — it
+        may meanwhile hit an entry a sibling absorb stored, so a batch
+        of isomorphic queries stores exactly one shared-cache entry
+        (the first absorbed miss) and the rest hit it — the same cache
+        evolution a serial thread-backend run produces.  Dispatch is
+        replaced by replaying the worker's identity-space recipe.
+        """
+        stages = self.config.pipeline
+        if ctx.cache_event != "replay_failed":
+            # A replay failure during the probe already ran the counted
+            # lookup (and reclassified it); probing again would count a
+            # second miss and mask the event.
+            stages.cache.lookup(ctx)
+        if not ctx.cache_hit and payload.get("recipe") is not None:
+            identity = tuple(range(ctx.graph.n_nodes))
+            try:
+                ctx.plan = replay_recipe(
+                    payload["recipe"], identity, ctx.graph, ctx.builder
+                )
+            except (ValueError, LookupError, TypeError):
+                # Defensive: a worker recipe that does not replay on
+                # the parent's graph (should not happen — same bytes)
+                # falls back to local dispatch rather than failing.
+                ctx.plan = stages.dispatch(ctx)
+            stages.cache.store(ctx)
+        worker_stats = payload.get("stats")
+        if worker_stats:
+            ctx.stats.extra["process_worker"] = worker_stats
+        return stages.finalize(ctx)
 
     # -- pipeline driver -------------------------------------------------
 
@@ -931,3 +1209,72 @@ class Optimizer:
             ctx.plan = stages.dispatch(ctx)
             stages.cache.store(ctx)
         return stages.finalize(ctx)
+
+
+# -- process-pool worker side ------------------------------------------------
+#
+# Module-level (not methods) so they pickle by reference under every
+# multiprocessing start method, including "spawn" where the worker
+# re-imports this module from scratch.
+
+#: per-worker-process state: {"optimizer": Optimizer, "cache": PlanCache|None}
+_WORKER_STATE: dict = {}
+
+
+def _process_worker_init(
+    config_blob: bytes,
+    snapshot: Optional[dict],
+    registrations: list,
+    use_cache: bool,
+) -> None:
+    """Initializer run once in each ``optimize_many`` worker process.
+
+    Restores custom algorithm registrations *before* unpickling the
+    config (whose validation resolves algorithm names), then builds
+    the worker's own Optimizer and a process-local cache warmed from
+    the parent's read-only snapshot.  ``use_cache`` is the parent's
+    *effective* batch policy (config plus the per-call ``cache=``
+    override): with it off, workers run cacheless too, keeping
+    ``optimize_many(cache=False)`` bit-identical to the pre-cache
+    optimizer under every executor.  ``cache_path`` is deliberately
+    not consulted here — the snapshot already is the parent's view,
+    and workers must never write the persistence file.
+    """
+    import pickle
+
+    restore_registrations(registrations)
+    config = pickle.loads(config_blob)
+    optimizer = Optimizer(config)
+    cache: Optional[PlanCache] = None
+    if use_cache:
+        if snapshot is not None:
+            cache = persist.restore_document(
+                snapshot, capacity=config.cache_size
+            )
+        else:
+            cache = PlanCache(config.cache_size)
+        optimizer._plan_cache = cache  # pre-empt the cache_path auto-load
+    _WORKER_STATE["optimizer"] = optimizer
+    _WORKER_STATE["cache"] = cache
+
+
+def _process_worker_run(query) -> dict:
+    """Optimize one query in a worker; return a picklable payload.
+
+    The payload is *not* the plan (a worker's Plan holds its own graph
+    objects, useless to the parent) but the join tree as an
+    identity-space recipe — nested tuples over the query's own node
+    indices — plus the worker's search statistics.  The parent replays
+    the recipe through the requesting query's builder for exact costs.
+    """
+    optimizer: Optimizer = _WORKER_STATE["optimizer"]
+    result = optimizer._run_pipeline(
+        query, None, None, _WORKER_STATE["cache"]
+    )
+    if result.plan is None or result.graph is None:
+        return {"recipe": None, "stats": result.stats.as_dict()}
+    identity = tuple(range(result.graph.n_nodes))
+    return {
+        "recipe": plan_recipe(result.plan, identity),
+        "stats": result.stats.as_dict(),
+    }

@@ -18,7 +18,10 @@ extensions immediately.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
+import types
+import weakref
 from collections.abc import Mapping
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
@@ -30,6 +33,7 @@ from .core.dpsize import solve_dpsize
 from .core.dpsub import solve_dpsub
 from .core.greedy import solve_greedy
 from .core.hypergraph import Hypergraph
+from .core.identity import process_token
 from .core.topdown import solve_topdown
 
 
@@ -75,6 +79,14 @@ class AlgorithmInfo:
             solvers qualify; randomized or stateful extensions must
             register with ``cacheable=False`` to bypass the cache.
         description: one-line summary for ``repr`` and docs.
+
+    Pickle-safety: an :class:`AlgorithmInfo` pickles iff its ``solver``
+    does — i.e. the solver is a module-level callable (all built-ins
+    are).  ``optimize_many(executor="process")`` relies on this to
+    re-register custom algorithms inside worker processes
+    (:func:`snapshot_registrations` / :func:`restore_registrations`);
+    registrations whose solver is a lambda or closure are silently
+    left out of the snapshot and exist only in the parent.
     """
 
     name: str
@@ -107,17 +119,142 @@ _REGISTRY: dict[str, AlgorithmInfo] = {}
 #: apart two different solvers registered under the same name over the
 #: lifetime of the process (``register_algorithm(..., replace=True)``)
 _REGISTRATION_TOKENS: dict[str, int] = {}
+#: last registered solver identity per name: (module, qualname, solver).
+#: Survives unregister_algorithm on purpose — a later re-registration
+#: must still be comparable against what the name used to mean.
+_LAST_SOLVER_IDENTITY: dict[str, tuple] = {}
+#: names whose (module, qualname) was ever *reused by a different
+#: callable* in this process (e.g. a function redefined in a REPL and
+#: re-registered): name resolution can no longer tell the versions
+#: apart, so their fingerprints turn process-scoped for good
+_AMBIGUOUS_NAMES: set[str] = set()
 _TOKEN_COUNTER = itertools.count(1)
 
 
 def registration_token(name: str) -> int:
     """Token identifying the *current* registration under ``name``.
 
-    Bumped on every :func:`register_algorithm` for that name; the plan
-    cache includes it in its keys so entries computed by a replaced
-    solver can never be served on behalf of its successor.
+    Bumped on every :func:`register_algorithm` for that name.  This is
+    a plain per-process counter — cache keys use
+    :func:`registration_fingerprint`, which only falls back to it (in
+    process-scoped form) for solvers that name resolution cannot
+    identify.
     """
     return _REGISTRATION_TOKENS.get(name, 0)
+
+
+def _code_fingerprint(solver: Callable) -> Optional[str]:
+    """Deterministic digest of a function's compiled body.
+
+    Part of the durable solver identity: a solver whose *own body* is
+    edited between two server lifetimes keeps its ``(module,
+    qualname)`` but not its bytecode, so persisted cache entries keyed
+    with this hash are not served by the changed implementation.
+    ``None`` for callables without ``__code__`` (callable objects, C
+    functions) — their behaviour cannot be pinned, so they key
+    process-scoped.
+
+    The digest covers the solver's code and constants recursively
+    (nested functions/lambdas included) but **not** its transitive
+    call graph: changes confined to helper functions, globals, or
+    default arguments keep the hash.  Extensions whose behaviour lives
+    outside the solver body should fold their own version into the
+    solver (e.g. a constant) or into ``CostModel.cache_key``-style
+    keys — the same discipline :data:`repro.cache.keys.KEY_VERSION`
+    applies to in-repo semantics.  The hash is stable across processes
+    of one code version and deliberately changes across interpreter
+    versions (bytecode differs), which only costs a conservative miss.
+    """
+    try:
+        return _CODE_FINGERPRINTS[solver]
+    except (KeyError, TypeError):
+        pass
+    code = getattr(solver, "__code__", None)
+    if code is None:
+        return None
+    digest = hashlib.sha256()
+
+    def feed(obj: types.CodeType) -> None:
+        digest.update(obj.co_code)
+        for const in obj.co_consts:
+            if isinstance(const, types.CodeType):
+                feed(const)
+            else:
+                digest.update(repr(const).encode("utf-8"))
+
+    feed(code)
+    result = digest.hexdigest()[:16]
+    try:
+        _CODE_FINGERPRINTS[solver] = result
+    except TypeError:  # pragma: no cover - non-weakref-able callable
+        pass
+    return result
+
+
+#: memo for :func:`_code_fingerprint` — the fingerprint stage asks per
+#: query, hashing per solver object once is enough
+_CODE_FINGERPRINTS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _resolves_by_name(solver: Callable, module: str, qualname: str) -> bool:
+    """True iff ``module.qualname`` resolves back to ``solver`` itself.
+
+    Module-level functions pass; lambdas, closures, locally defined
+    functions, and names that have been shadowed since registration
+    fail — their ``(module, qualname)`` pair does not pin down *which*
+    callable is meant, so it must not serve as durable identity.
+    """
+    import sys
+
+    obj = sys.modules.get(module)
+    if obj is None:
+        return False
+    for part in qualname.split("."):
+        if part == "<locals>":
+            return False
+        obj = getattr(obj, part, None)
+        if obj is None:
+            return False
+    return obj is solver
+
+
+def registration_fingerprint(name: str) -> tuple:
+    """Cache-key component identifying the registration under ``name``.
+
+    For the common case — the registered solver is a module-level
+    function reachable under its own ``(module, qualname)`` (all
+    built-ins, typical extensions) — the fingerprint is ``(name,
+    module, qualname, code hash)``: stable across process restarts of
+    the *same code*, so entries may be persisted and served warm, yet
+    distinct for any two different implementations — a ``replace=True``
+    successor lives at a different path, and an implementation *edited
+    between lifetimes* keeps its path but not its bytecode
+    (:func:`_code_fingerprint`), so a restarted server re-plans
+    instead of serving the old solver's recipes.
+
+    When the solver is **not** name-resolvable — a lambda, a closure,
+    a replaced-and-shadowed name — or its ``(module, qualname)`` has
+    ever been *reused by a different callable* under this name (a
+    function redefined in a REPL and re-registered), the fingerprint
+    instead carries the registration token in process-scoped form
+    (:func:`repro.core.identity.process_token`): successive
+    registrations stay distinct in-process, and the branded keys are
+    refused by the persistence layer — token counters restart in a new
+    process, so a bare counter could collide with a *different*
+    registration sequence after a restart.
+    """
+    info = _REGISTRY.get(name)
+    if info is None:
+        return (name, "unregistered")
+    module = getattr(info.solver, "__module__", "?")
+    qualname = getattr(info.solver, "__qualname__", "?")
+    if name not in _AMBIGUOUS_NAMES and _resolves_by_name(
+        info.solver, module, qualname
+    ):
+        code_hash = _code_fingerprint(info.solver)
+        if code_hash is not None:
+            return (name, module, qualname, code_hash)
+    return (name, process_token(registration_token(name)))
 
 
 def register_algorithm(info: AlgorithmInfo, replace: bool = False) -> AlgorithmInfo:
@@ -141,12 +278,64 @@ def register_algorithm(info: AlgorithmInfo, replace: bool = False) -> AlgorithmI
         )
     _REGISTRY[info.name] = info
     _REGISTRATION_TOKENS[info.name] = next(_TOKEN_COUNTER)
+    identity = (
+        getattr(info.solver, "__module__", "?"),
+        getattr(info.solver, "__qualname__", "?"),
+        info.solver,
+    )
+    previous = _LAST_SOLVER_IDENTITY.get(info.name)
+    if (
+        previous is not None
+        and previous[:2] == identity[:2]
+        and previous[2] is not info.solver
+    ):
+        # The same (module, qualname) now names a *different* callable
+        # — e.g. a redefined-and-re-registered function.  The path can
+        # no longer serve as durable identity for this name.
+        _AMBIGUOUS_NAMES.add(info.name)
+    _LAST_SOLVER_IDENTITY[info.name] = identity
     return info
 
 
 def unregister_algorithm(name: str) -> None:
     """Remove a registration (primarily for tests of extensions)."""
     _REGISTRY.pop(name, None)
+
+
+def snapshot_registrations() -> list[AlgorithmInfo]:
+    """The current registrations whose records survive pickling.
+
+    Used by the process-pool ``optimize_many`` backend: the snapshot is
+    shipped to each worker's initializer so custom solvers resolve
+    there too.  Records with unpicklable solvers (lambdas, closures,
+    bound methods of local objects) are skipped — a worker asked to run
+    one fails with the ordinary unknown-algorithm error, naming the
+    registration gap.
+    """
+    import pickle
+
+    snapshot = []
+    for info in _REGISTRY.values():
+        try:
+            pickle.dumps(info)
+        except Exception:  # pickle raises a zoo: PicklingError,
+            continue       # AttributeError, TypeError, ...
+        snapshot.append(info)
+    return snapshot
+
+
+def restore_registrations(infos: "list[AlgorithmInfo]") -> None:
+    """Adopt a :func:`snapshot_registrations` snapshot (worker side).
+
+    Registrations already present and identical are left untouched —
+    crucially this keeps their registration tokens, so plan-cache keys
+    computed in a forked worker line up with the parent's warm-up
+    snapshot.  Only genuinely new or changed records (re-)register.
+    """
+    for info in infos:
+        if _REGISTRY.get(info.name) == info:
+            continue
+        register_algorithm(info, replace=True)
 
 
 def get_algorithm(name: str) -> AlgorithmInfo:

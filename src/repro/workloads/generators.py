@@ -5,6 +5,13 @@ the paper).  Every generator returns a :class:`Query` bundling the
 hypergraph with base cardinalities, so benchmarks and examples need a
 single call.  Cardinalities and selectivities are drawn from a seeded
 :class:`random.Random` for reproducibility, or fixed via arguments.
+
+Pickle-safety: a generated :class:`Query` contains only hypergraphs
+(bitmaps + string/None payloads), floats, and plain dicts, so whole
+batches ship to ``optimize_many(executor="process")`` workers as-is.
+Code that stuffs exotic objects into ``Query.meta`` (e.g. operator
+trees for Section-5 workloads) keeps picklability only as long as
+those objects pickle.
 """
 
 from __future__ import annotations

@@ -12,7 +12,13 @@ refresh that must miss the cache rather than be served a stale plan).
 A relabeled copy is annotated-isomorphic to its base, so with the plan
 cache on an entire ``repeated_workload`` batch costs one enumeration
 plus cheap recipe replays — exactly the scenario the
-``bench throughput`` harness measures.
+``bench throughput`` harness measures.  :func:`mixed_shapes_workload`
+interleaves several bases (one cache entry per base), which is what
+the warm-restart and process-executor phases of the harness use.
+
+Every generated :class:`Query` is picklable (graphs, bitmaps, and
+string payloads only), so batches feed directly into
+``optimize_many(executor="process")``.
 """
 
 from __future__ import annotations
@@ -117,6 +123,28 @@ def repeated_workload(
         return [base] * copies
     return [base] + [
         relabeled(base, seed=seed + i) for i in range(1, copies)
+    ]
+
+
+def mixed_shapes_workload(
+    bases: "list[Query]",
+    copies: int,
+    seed: int = 0,
+) -> "list[Query]":
+    """Interleave relabeled copies of several base queries.
+
+    Round-robin over ``bases``, each appearance freshly relabeled —
+    the serving mix of a system with a handful of hot dashboard
+    shapes.  With the plan cache on the whole batch resolves to
+    ``len(bases)`` entries.  ``copies`` counts total queries emitted.
+    """
+    if not bases:
+        raise ValueError("need at least one base query")
+    if copies < 1:
+        raise ValueError("need at least one copy")
+    return [
+        relabeled(bases[i % len(bases)], seed=seed + i)
+        for i in range(copies)
     ]
 
 

@@ -1,0 +1,38 @@
+"""The documentation must execute.
+
+Every ```python fence in docs/*.md and README.md is run by
+``tools/run_doc_snippets.py`` (CI has a dedicated docs job; this test
+keeps the check in the tier-1 suite so drift is caught locally too).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_docs_exist():
+    docs = REPO_ROOT / "docs"
+    for name in ("architecture.md", "cache.md", "paper_map.md"):
+        assert (docs / name).is_file(), f"docs/{name} is missing"
+
+
+def test_doc_snippets_execute():
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "run_doc_snippets.py")],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"doc snippets failed:\n{proc.stdout}\n{proc.stderr}"
+    )
+
+
+def test_readme_points_at_docs():
+    readme = (REPO_ROOT / "README.md").read_text()
+    for target in ("docs/architecture.md", "docs/cache.md",
+                   "docs/paper_map.md"):
+        assert target in readme, f"README should link {target}"

@@ -9,6 +9,7 @@ from repro.workloads import generators
 from repro.workloads.repeated import (
     drifted,
     drifting_workload,
+    mixed_shapes_workload,
     relabeled,
     repeated_workload,
 )
@@ -94,6 +95,22 @@ class TestWorkloadFactories:
             drifting_workload(base, 3, distinct_stats=0)
 
 
+class TestMixedShapesWorkload:
+    def test_one_cache_entry_per_base(self):
+        bases = [generators.chain(4, seed=1), generators.star(3, seed=2)]
+        batch = mixed_shapes_workload(bases, 8, seed=5)
+        assert len(batch) == 8
+        opt = Optimizer(OptimizerConfig(cache="on"))
+        opt.optimize_many(batch)
+        assert len(opt.plan_cache) == len(bases)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mixed_shapes_workload([], 4)
+        with pytest.raises(ValueError):
+            mixed_shapes_workload([generators.chain(3)], 0)
+
+
 class TestThroughputHarness:
     def test_run_and_validate_tiny(self):
         document = throughput.run_throughput(max_n=5, copies=4)
@@ -103,6 +120,36 @@ class TestThroughputHarness:
             assert entry["hot_hit_rate"] == 1.0
             assert entry["cache"]["size"] >= 1
         assert document["drifting"]["n_queries"] == 4
+        assert document["restart"]["first_query_event"] == "hit"
+        assert document["restart"]["persisted_entries"] >= 1
+
+    def test_committed_baselines_still_validate(self):
+        """Both committed BENCH documents (schema v1 and v2) must pass
+        the validator — baselines from earlier PRs stay auditable."""
+        import json
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        for name in ("BENCH_pr3_plan_cache.json", "BENCH_pr4_persist.json"):
+            with open(root / name) as handle:
+                throughput.validate_result(json.load(handle))
+
+    def test_restart_phase_warm_hits(self):
+        restart = throughput.run_restart(max_n=5, copies=6)
+        assert restart["first_query_event"] == "hit"
+        assert restart["warm_hit_rate"] == 1.0
+        assert restart["persisted_entries"] >= 1
+
+    def test_cli_restart_gate_fails_on_absurd_threshold(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "tp.json"
+        code = throughput.main([
+            "--max-n", "5", "--copies", "3",
+            "--min-restart-speedup", "1e9", "--out", str(out),
+        ])
+        assert code == 1
+        assert "PERSISTENCE REGRESSION" in capsys.readouterr().err
 
     def test_render_summary_mentions_every_workload(self):
         document = throughput.run_throughput(max_n=5, copies=3)

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Execute the ```python fenced snippets in docs/*.md (and README.md).
+
+Documentation that cannot run is documentation that has drifted.  This
+runner extracts every fenced code block tagged ``python`` and executes
+the blocks of each file top-to-bottom in one shared namespace per file
+(so a later snippet may reuse imports/variables from an earlier one,
+reading like a session).  Blocks tagged ``python no-run`` are
+syntax-checked with :func:`compile` but not executed — for snippets
+that need unavailable context (network, huge runtimes).
+
+Usage::
+
+    python tools/run_doc_snippets.py            # docs/*.md + README.md
+    python tools/run_doc_snippets.py docs/cache.md
+
+Exit status 0 iff every snippet ran clean.  CI runs this in the docs
+job; ``tests/test_docs.py`` runs it in the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+FENCE = re.compile(
+    r"^```python[ \t]*(?P<norun>no-run)?[ \t]*\n(?P<body>.*?)^```",
+    re.MULTILINE | re.DOTALL,
+)
+
+
+def iter_snippets(text: str):
+    """Yield ``(line_number, no_run, source)`` per python fence."""
+    for match in FENCE.finditer(text):
+        line = text.count("\n", 0, match.start()) + 1
+        yield line, bool(match.group("norun")), match.group("body")
+
+
+def display(path: pathlib.Path) -> str:
+    """Repo-relative rendering when possible, absolute otherwise."""
+    try:
+        return str(path.relative_to(REPO_ROOT))
+    except ValueError:
+        return str(path)
+
+
+def run_file(path: pathlib.Path) -> list[str]:
+    """Execute one file's snippets; return error descriptions."""
+    errors = []
+    namespace: dict = {"__name__": f"docsnippet:{path.name}"}
+    count = 0
+    for line, no_run, source in iter_snippets(path.read_text()):
+        label = f"{display(path)}:{line}"
+        try:
+            code = compile(source, label, "exec")
+            if not no_run:
+                exec(code, namespace)  # noqa: S102 - the point of the tool
+        except BaseException as exc:  # report, keep going
+            errors.append(f"{label}: {type(exc).__name__}: {exc}")
+            continue
+        count += 1
+        print(f"ok   {label}" + ("  (syntax only)" if no_run else ""))
+    if count == 0 and not errors:
+        print(f"     {display(path)}: no python snippets")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    sys.path.insert(0, str(SRC))
+    if argv:
+        paths = [pathlib.Path(arg).resolve() for arg in argv]
+    else:
+        paths = sorted((REPO_ROOT / "docs").glob("*.md"))
+        paths.append(REPO_ROOT / "README.md")
+    failures: list[str] = []
+    for path in paths:
+        if not path.exists():
+            failures.append(f"{path}: no such file")
+            continue
+        failures.extend(run_file(path))
+    if failures:
+        print("\nFAILED snippets:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nall documentation snippets executed cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
