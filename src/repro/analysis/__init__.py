@@ -1,0 +1,42 @@
+"""Invariant analysis: a self-contained static-analysis suite.
+
+PRs 3-4 made the plan cache's correctness rest on rules no test
+reliably exercises — every config field reaches the cache key,
+persistence never pickles or uses the process-randomized ``hash()``,
+cache state only mutates under its lock, key-shape edits bump
+``KEY_VERSION``, registry capability claims match the solver code.
+This package decides those properties from the program *text*: an
+AST-walking checker framework (:mod:`repro.analysis.framework`), five
+concrete rules (:mod:`repro.analysis.checkers`), findings with
+``file:line`` anchors and inline ``# repro: ignore[rule]``
+suppressions (:mod:`repro.analysis.findings`), and a CLI gate::
+
+    PYTHONPATH=src python -m repro.analysis            # human output
+    PYTHONPATH=src python -m repro.analysis --json     # machine output
+
+Exit status 0 iff no unsuppressed error-severity finding survived —
+the CI ``analysis`` job is exactly that invocation.  No third-party
+dependencies, and the checked code is never imported or executed, so
+the suite runs on half-refactored trees.
+"""
+
+from .findings import ERROR, WARNING, Finding, SuppressionIndex
+from .framework import (
+    Checker,
+    Report,
+    SourceModule,
+    check_source,
+    run_analysis,
+)
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "Checker",
+    "Finding",
+    "Report",
+    "SourceModule",
+    "SuppressionIndex",
+    "check_source",
+    "run_analysis",
+]

@@ -1,0 +1,103 @@
+"""CLI for the invariant analysis suite: ``python -m repro.analysis``.
+
+Exit status 0 iff every checker is clean (unsuppressed error-severity
+findings fail).  ``--write-key-fingerprint`` maintains the committed
+AST fingerprint for the current ``KEY_VERSION`` (the
+``key-version-fingerprint`` bump workflow; see ``docs/analysis.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Optional, Sequence
+
+from .checkers import ALL_CHECKERS
+from .checkers.key_fingerprint import compute_fingerprint, read_key_version
+from .framework import run_analysis
+
+
+def write_key_fingerprint() -> int:
+    """Record the current key-building fingerprint for KEY_VERSION."""
+    from . import key_fingerprints
+
+    version, _line = read_key_version()
+    if version is None:
+        print(
+            "cannot read KEY_VERSION from cache/keys.py (not a literal "
+            "int assignment)",
+            file=sys.stderr,
+        )
+        return 1
+    computed, problems = compute_fingerprint()
+    if problems:
+        for problem in problems:
+            print(f"fingerprint surface incomplete: {problem}",
+                  file=sys.stderr)
+        return 1
+    table = dict(key_fingerprints.KEY_FINGERPRINTS)
+    if table.get(version) == computed:
+        print(f"KEY_VERSION {version} fingerprint already current")
+        return 0
+    table[version] = computed
+    path = pathlib.Path(key_fingerprints.__file__)
+    source = path.read_text(encoding="utf-8")
+    head, separator, _tail = source.partition(
+        'KEY_FINGERPRINTS: "dict[int, str]" = {'
+    )
+    if not separator:
+        print(f"cannot rewrite {path}: table marker not found",
+              file=sys.stderr)
+        return 1
+    rows = "".join(
+        f'    {key}: "{value}",\n' for key, value in sorted(table.items())
+    )
+    path.write_text(head + separator + "\n" + rows + "}\n",
+                    encoding="utf-8")
+    print(f"recorded fingerprint {computed[:12]}... for KEY_VERSION "
+          f"{version} in {path}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Static invariant analysis of the plan-cache/serving core "
+            "(AST lint; no code is imported or executed)"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to analyze (default: the whole "
+             "repro package source)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit findings as JSON"
+    )
+    parser.add_argument(
+        "--list", action="store_true", dest="list_rules",
+        help="list the registered rules and exit",
+    )
+    parser.add_argument(
+        "--write-key-fingerprint", action="store_true",
+        help="record the current key-building AST fingerprint for the "
+             "current KEY_VERSION and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for factory in ALL_CHECKERS:
+            print(f"{factory.rule:26} {factory.description}")
+        return 0
+    if args.write_key_fingerprint:
+        return write_key_fingerprint()
+
+    report = run_analysis(paths=args.paths or None)
+    print(report.to_json() if args.json else report.render())
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,30 @@
+"""The concrete checkers of the invariant analysis suite.
+
+:data:`ALL_CHECKERS` is the registry the default ``python -m
+repro.analysis`` run instantiates; tests and embedders can run any
+subset through :func:`repro.analysis.run_analysis`.
+"""
+
+from .cache_key import CacheKeyCompletenessChecker
+from .key_fingerprint import KeyFingerprintChecker
+from .lock_discipline import LockDisciplineChecker
+from .no_pickle import NoPickleChecker
+from .registry_capability import RegistryCapabilityChecker
+
+#: checker factories in report order
+ALL_CHECKERS = (
+    CacheKeyCompletenessChecker,
+    NoPickleChecker,
+    LockDisciplineChecker,
+    KeyFingerprintChecker,
+    RegistryCapabilityChecker,
+)
+
+__all__ = [
+    "ALL_CHECKERS",
+    "CacheKeyCompletenessChecker",
+    "KeyFingerprintChecker",
+    "LockDisciplineChecker",
+    "NoPickleChecker",
+    "RegistryCapabilityChecker",
+]

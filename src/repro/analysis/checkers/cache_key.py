@@ -1,0 +1,208 @@
+"""``cache-key-completeness``: every config knob reaches the cache key.
+
+The plan cache serves a stored plan whenever the key matches, so any
+:class:`~repro.optimizer.OptimizerConfig` field that can change the
+*resulting plan* but is missing from :meth:`OptimizerConfig.cache_key`
+silently serves stale plans.  The rule, decided from the program text:
+
+* **dataclasses with a ``cache_key`` method** — every dataclass field
+  must either be read as ``self.<field>`` inside ``cache_key()`` or be
+  listed in the class's ``CACHE_KEY_EXCLUDED`` class var (the audited,
+  in-code record of "this knob cannot change the plan").  Stale
+  exclusions (naming no field) and ambiguous names (excluded *and*
+  referenced) are findings too, so the exclusion list cannot rot.
+
+* **cost-model subclasses** — any class deriving (transitively, within
+  the module, or directly by base name) from ``CostModel`` that
+  assigns public instance attributes in ``__init__`` is parameterized:
+  it must override ``cache_key`` and read every such attribute there,
+  or two differently-parameterized instances would share cache
+  entries.  (Attribute-free models share the safe per-class default;
+  underscore attributes are implementation details and exempt.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional
+
+from ..findings import Finding
+from ..framework import (
+    Checker,
+    SourceModule,
+    decorator_name,
+    is_self_attribute,
+    literal_string_elements,
+    self_attribute_reads,
+)
+
+#: class var naming the fields deliberately left out of the key
+EXCLUSION_VAR = "CACHE_KEY_EXCLUDED"
+
+#: base-class names that mark a cost model hierarchy
+COST_MODEL_BASES = frozenset({"CostModel"})
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    return any(
+        decorator_name(decorator) in ("dataclass", "dataclasses.dataclass")
+        for decorator in node.decorator_list
+    )
+
+
+def _dataclass_fields(node: ast.ClassDef) -> "list[tuple[str, int]]":
+    """``(name, line)`` per dataclass field (ClassVar annotations skipped)."""
+    fields = []
+    for statement in node.body:
+        if not isinstance(statement, ast.AnnAssign):
+            continue
+        if not isinstance(statement.target, ast.Name):
+            continue
+        annotation = ast.dump(statement.annotation)
+        if "ClassVar" in annotation:
+            continue
+        fields.append((statement.target.id, statement.lineno))
+    return fields
+
+
+def _method(node: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for statement in node.body:
+        if isinstance(statement, ast.FunctionDef) and statement.name == name:
+            return statement
+    return None
+
+
+def _exclusions(node: ast.ClassDef) -> "tuple[set[str], int]":
+    """Parse the ``CACHE_KEY_EXCLUDED`` literal; ``(names, line)``."""
+    for statement in node.body:
+        target: Optional[ast.expr] = None
+        value: Optional[ast.expr] = None
+        if isinstance(statement, ast.AnnAssign) and statement.value:
+            target, value = statement.target, statement.value
+        elif isinstance(statement, ast.Assign) and len(statement.targets) == 1:
+            target, value = statement.targets[0], statement.value
+        if (
+            isinstance(target, ast.Name)
+            and target.id == EXCLUSION_VAR
+            and value is not None
+        ):
+            names = literal_string_elements(value)
+            return (names if names is not None else set()), statement.lineno
+    return set(), node.lineno
+
+
+def _init_attributes(node: ast.ClassDef) -> "dict[str, int]":
+    """Public ``self.X = ...`` targets in ``__init__`` -> first line."""
+    init = _method(node, "__init__")
+    attributes: "dict[str, int]" = {}
+    if init is None:
+        return attributes
+    for statement in ast.walk(init):
+        targets: "list[ast.expr]" = []
+        if isinstance(statement, ast.Assign):
+            targets = statement.targets
+        elif isinstance(statement, (ast.AnnAssign, ast.AugAssign)):
+            targets = [statement.target]
+        for target in targets:
+            if is_self_attribute(target) and not target.attr.startswith("_"):  # type: ignore[union-attr]
+                attributes.setdefault(target.attr, statement.lineno)  # type: ignore[union-attr]
+    return attributes
+
+
+def _cost_model_classes(module: SourceModule) -> Iterator[ast.ClassDef]:
+    """Classes deriving from a cost-model base, transitively in-module."""
+    classes = [
+        node for node in module.tree.body if isinstance(node, ast.ClassDef)
+    ]
+    model_names = set(COST_MODEL_BASES)
+    changed = True
+    while changed:
+        changed = False
+        for node in classes:
+            if node.name in model_names:
+                continue
+            bases = {decorator_name(base) for base in node.bases}
+            if bases & model_names:
+                model_names.add(node.name)
+                changed = True
+    for node in classes:
+        if node.name in model_names and node.name not in COST_MODEL_BASES:
+            yield node
+
+
+class CacheKeyCompletenessChecker(Checker):
+    rule = "cache-key-completeness"
+    description = (
+        "every dataclass field and cost-model parameter is reflected in "
+        "its cache_key() or explicitly excluded"
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        for node in module.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if _is_dataclass(node) and _method(node, "cache_key") is not None:
+                yield from self._check_dataclass(module, node)
+        for node in _cost_model_classes(module):
+            yield from self._check_cost_model(module, node)
+
+    def _check_dataclass(
+        self, module: SourceModule, node: ast.ClassDef
+    ) -> Iterator[Finding]:
+        method = _method(node, "cache_key")
+        assert method is not None
+        referenced = self_attribute_reads(method.body)
+        excluded, excluded_line = _exclusions(node)
+        field_names = set()
+        for name, line in _dataclass_fields(node):
+            field_names.add(name)
+            if name in referenced and name in excluded:
+                yield self.finding(
+                    module,
+                    excluded_line,
+                    f"{node.name}.{name} is listed in {EXCLUSION_VAR} but "
+                    f"also read inside cache_key(); pick one",
+                )
+            elif name not in referenced and name not in excluded:
+                yield self.finding(
+                    module,
+                    line,
+                    f"{node.name}.{name} is neither read inside cache_key() "
+                    f"nor listed in {EXCLUSION_VAR}; a field that can "
+                    "change the chosen plan must enter the key, a "
+                    "plumbing-only field must be excluded explicitly",
+                )
+        for name in sorted(excluded - field_names):
+            yield self.finding(
+                module,
+                excluded_line,
+                f"{EXCLUSION_VAR} names {name!r}, which is not a field of "
+                f"{node.name}; remove the stale exclusion",
+            )
+
+    def _check_cost_model(
+        self, module: SourceModule, node: ast.ClassDef
+    ) -> Iterator[Finding]:
+        attributes = _init_attributes(node)
+        if not attributes:
+            return
+        method = _method(node, "cache_key")
+        if method is None:
+            yield self.finding(
+                module,
+                node,
+                f"cost model {node.name} sets instance parameters "
+                f"({', '.join(sorted(attributes))}) but does not override "
+                "cache_key(); differently-parameterized instances would "
+                "fall back to instance-identity keys",
+            )
+            return
+        referenced = self_attribute_reads(method.body)
+        for name in sorted(set(attributes) - referenced):
+            yield self.finding(
+                module,
+                attributes[name],
+                f"cost model {node.name} parameter {name!r} is not read "
+                "inside cache_key(); two instances differing only in "
+                f"{name!r} would share plan-cache entries",
+            )

@@ -1,0 +1,140 @@
+"""``lock-discipline``: shared mutable state only mutates under its lock.
+
+Applies to every class that creates ``self._lock`` in ``__init__``
+(:class:`~repro.cache.plan_cache.PlanCache` is the load-bearing one:
+it backs concurrent ``optimize_many`` threads).  Inside such a class,
+every *write* to instance state in any method other than ``__init__``
+must be lexically inside a ``with self._lock:`` block:
+
+* plain / augmented / annotated assignments to ``self.X``;
+* subscript assignments and deletions on ``self.X[...]``;
+* calls to known mutating methods of ``self.X`` (``pop``, ``clear``,
+  ``move_to_end``, ...).
+
+Reads are deliberately not checked — the documented counter contract
+is "written under the lock, read without it" — and methods that
+*return* the lock context itself are out of scope.  The check is
+lexical (no alias or inter-procedural tracking): assigning the lock to
+a local or taking it in a helper defeats it, which is exactly the kind
+of cleverness the rule exists to discourage; suppress with
+``# repro: ignore[lock-discipline]`` where a private helper is only
+ever called under the lock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..findings import Finding
+from ..framework import Checker, SourceModule, is_self_attribute
+
+#: attribute name of the guarding lock
+LOCK_ATTRIBUTE = "_lock"
+
+#: method names that mutate their receiver (dict/list/set/OrderedDict)
+MUTATING_METHODS = frozenset({
+    "pop", "popitem", "clear", "update", "setdefault", "move_to_end",
+    "append", "extend", "insert", "remove", "discard", "add",
+})
+
+
+def _creates_lock(node: ast.ClassDef) -> bool:
+    """True when ``__init__`` assigns ``self._lock``."""
+    for statement in node.body:
+        if (
+            isinstance(statement, ast.FunctionDef)
+            and statement.name == "__init__"
+        ):
+            for sub in ast.walk(statement):
+                if isinstance(sub, ast.Assign) and any(
+                    is_self_attribute(target, LOCK_ATTRIBUTE)
+                    for target in sub.targets
+                ):
+                    return True
+    return False
+
+
+def _is_lock_with(node: ast.With) -> bool:
+    return any(
+        is_self_attribute(item.context_expr, LOCK_ATTRIBUTE)
+        for item in node.items
+    )
+
+
+def _walk_with_guard(
+    node: ast.AST, guarded: bool
+) -> Iterator["tuple[ast.AST, bool]"]:
+    """Yield ``(node, under_lock)`` for the whole subtree.
+
+    Nested function/class definitions are descended with the guard
+    *reset* — a closure defined under the lock does not run under it.
+    """
+    yield node, guarded
+    if isinstance(node, ast.With) and _is_lock_with(node):
+        guarded = True
+    for child in ast.iter_child_nodes(node):
+        if isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            yield from _walk_with_guard(child, False)
+        else:
+            yield from _walk_with_guard(child, guarded)
+
+
+def _written_attribute(node: ast.AST) -> "str | None":
+    """Name of the ``self.X`` state written by ``node``, if any."""
+    targets: "list[ast.expr]" = []
+    if isinstance(node, ast.Assign):
+        targets = node.targets
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    elif isinstance(node, ast.Delete):
+        targets = node.targets
+    for target in targets:
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        if is_self_attribute(target) and target.attr != LOCK_ATTRIBUTE:  # type: ignore[union-attr]
+            return target.attr  # type: ignore[union-attr]
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if (
+            node.func.attr in MUTATING_METHODS
+            and is_self_attribute(node.func.value)
+        ):
+            return node.func.value.attr  # type: ignore[union-attr]
+    return None
+
+
+class LockDisciplineChecker(Checker):
+    rule = "lock-discipline"
+    description = (
+        "classes owning self._lock mutate instance state only inside "
+        "'with self._lock' blocks (outside __init__)"
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and _creates_lock(node):
+                yield from self._check_class(module, node)
+
+    def _check_class(
+        self, module: SourceModule, node: ast.ClassDef
+    ) -> Iterator[Finding]:
+        for method in node.body:
+            if not isinstance(method, ast.FunctionDef):
+                continue
+            if method.name == "__init__":
+                continue
+            for sub, guarded in _walk_with_guard(method, False):
+                if guarded:
+                    continue
+                attribute = _written_attribute(sub)
+                if attribute is not None:
+                    yield self.finding(
+                        module,
+                        sub,
+                        f"{node.name}.{method.name} writes "
+                        f"self.{attribute} outside 'with self.{LOCK_ATTRIBUTE}'"
+                        "; all mutation of lock-guarded state must happen "
+                        "under the lock",
+                    )

@@ -1,0 +1,269 @@
+"""``registry-capability``: AlgorithmInfo claims match the solver code.
+
+``algorithm="auto"`` dispatch and the plan cache both *trust* the
+metadata in :mod:`repro.registry`: a solver registered
+``supports_hypergraphs=True`` will be handed complex hyperedges, a
+solver registered ``cacheable=True`` will have its plans served to
+other queries, and every solver will be called as ``solver(graph,
+builder, stats)``.  This checker cross-examines each literal
+``register_algorithm(AlgorithmInfo(...))`` call against the solver's
+own source:
+
+* **resolvable solver** — the ``solver=`` name must resolve to a
+  module-level function, either defined in the registering module or
+  reachable through its ``from . ... import`` statements;
+* **signature** — the resolved function must accept three positional
+  arguments (the ``(graph, builder, stats)`` calling convention; extra
+  defaulted or keyword-only parameters are fine);
+* **duplicate names** — two literal registrations of one name in a
+  module shadow each other silently;
+* **simple-graph guard** — a solver registered
+  ``supports_hypergraphs=False`` must actually guard: its defining
+  module must consult ``is_simple`` somewhere (DPccp's complex-edge
+  rejection), otherwise the flag is wishful;
+* **determinism smell** — a solver left ``cacheable=True`` (the
+  default) whose defining module imports ``random`` is flagged as a
+  warning: randomized plans must not be replayed from the cache;
+  register ``cacheable=False`` or suppress with an inline ignore.
+
+Solvers that cannot be resolved statically (attribute references,
+absolute imports from outside the package) are skipped — the rule
+never guesses.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from ..findings import Finding, WARNING
+from ..framework import Checker, SourceModule
+
+#: positional calling convention every registered solver must accept
+SOLVER_ARITY = 3
+
+
+@dataclass
+class ResolvedSolver:
+    """Where a ``solver=`` name was found."""
+
+    function: ast.FunctionDef
+    module_tree: ast.Module
+    imports_random: bool
+
+
+def _module_imports_random(tree: ast.Module) -> bool:
+    for node in tree.body:
+        if isinstance(node, ast.Import) and any(
+            alias.name.split(".")[0] == "random" for alias in node.names
+        ):
+            return True
+        if isinstance(node, ast.ImportFrom) and (
+            (node.module or "").split(".")[0] == "random"
+        ):
+            return True
+    return False
+
+
+def _find_function(tree: ast.Module, name: str) -> Optional[ast.FunctionDef]:
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+def _mentions_is_simple(tree: ast.Module) -> bool:
+    return any(
+        isinstance(node, ast.Attribute) and node.attr == "is_simple"
+        for node in ast.walk(tree)
+    )
+
+
+def _resolve_solver(
+    module: SourceModule, name: str
+) -> Optional[ResolvedSolver]:
+    """Find the function ``name`` refers to in ``module``, if decidable."""
+    local = _find_function(module.tree, name)
+    if local is not None:
+        return ResolvedSolver(
+            function=local,
+            module_tree=module.tree,
+            imports_random=_module_imports_random(module.tree),
+        )
+    for node in module.tree.body:
+        if not isinstance(node, ast.ImportFrom):
+            continue
+        if not any(
+            (alias.asname or alias.name) == name for alias in node.names
+        ):
+            continue
+        original = next(
+            alias.name for alias in node.names
+            if (alias.asname or alias.name) == name
+        )
+        if node.level < 1 or node.module is None:
+            return None  # absolute import: outside our static horizon
+        base = module.path.resolve().parent
+        for _ in range(node.level - 1):
+            base = base.parent
+        candidate = base.joinpath(*node.module.split("."))
+        for path in (
+            candidate.with_suffix(".py"), candidate / "__init__.py"
+        ):
+            if path.is_file():
+                try:
+                    tree = ast.parse(path.read_text(encoding="utf-8"))
+                except (OSError, SyntaxError):
+                    return None
+                function = _find_function(tree, original)
+                if function is None:
+                    return None
+                return ResolvedSolver(
+                    function=function,
+                    module_tree=tree,
+                    imports_random=_module_imports_random(tree),
+                )
+    return None
+
+
+def _accepts_positional(function: ast.FunctionDef, count: int) -> bool:
+    args = function.args
+    positional = len(args.posonlyargs) + len(args.args)
+    required = positional - len(args.defaults)
+    if args.vararg is not None:
+        return required <= count
+    return required <= count <= positional
+
+
+@dataclass
+class _Registration:
+    call: ast.Call
+    name: Optional[str]
+    solver: Optional[str]
+    supports_hypergraphs: bool
+    cacheable: bool
+
+
+def _iter_registrations(module: SourceModule) -> Iterator[_Registration]:
+    for node in ast.walk(module.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "register_algorithm"
+            and node.args
+        ):
+            continue
+        info = node.args[0]
+        if not (
+            isinstance(info, ast.Call)
+            and isinstance(info.func, ast.Name)
+            and info.func.id == "AlgorithmInfo"
+        ):
+            continue
+        fields: "dict[str, ast.expr]" = {
+            keyword.arg: keyword.value
+            for keyword in info.keywords
+            if keyword.arg is not None
+        }
+        name_node = fields.get("name")
+        solver_node = fields.get("solver")
+
+        def flag(field: str, default: bool) -> bool:
+            value = fields.get(field)
+            if isinstance(value, ast.Constant) and isinstance(
+                value.value, bool
+            ):
+                return value.value
+            return default
+
+        yield _Registration(
+            call=info,
+            name=(
+                name_node.value
+                if isinstance(name_node, ast.Constant)
+                and isinstance(name_node.value, str)
+                else None
+            ),
+            solver=(
+                solver_node.id
+                if isinstance(solver_node, ast.Name)
+                else None
+            ),
+            supports_hypergraphs=flag("supports_hypergraphs", True),
+            cacheable=flag("cacheable", True),
+        )
+
+
+class RegistryCapabilityChecker(Checker):
+    rule = "registry-capability"
+    description = (
+        "declared AlgorithmInfo capabilities match the registered "
+        "solver's signature and source"
+    )
+
+    def applies_to(self, module: SourceModule) -> bool:
+        return "register_algorithm(" in module.source
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        seen: "dict[str, int]" = {}
+        for registration in _iter_registrations(module):
+            call = registration.call
+            if registration.name is not None:
+                previous = seen.get(registration.name)
+                if previous is not None:
+                    yield self.finding(
+                        module,
+                        call,
+                        f"algorithm {registration.name!r} is registered "
+                        f"twice in this module (first at line {previous}); "
+                        "the later registration silently shadows the "
+                        "earlier one",
+                    )
+                else:
+                    seen[registration.name] = call.lineno
+            if registration.solver is None:
+                continue
+            resolved = _resolve_solver(module, registration.solver)
+            if resolved is None:
+                yield self.finding(
+                    module,
+                    call,
+                    f"solver {registration.solver!r} for algorithm "
+                    f"{registration.name!r} does not resolve to a "
+                    "module-level function (local def or relative "
+                    "from-import); dispatch cannot be checked",
+                )
+                continue
+            if not _accepts_positional(resolved.function, SOLVER_ARITY):
+                yield self.finding(
+                    module,
+                    call,
+                    f"solver {registration.solver!r} for algorithm "
+                    f"{registration.name!r} does not accept the "
+                    f"{SOLVER_ARITY}-positional (graph, builder, stats) "
+                    "calling convention the dispatcher uses",
+                )
+            if not registration.supports_hypergraphs and not (
+                _mentions_is_simple(resolved.module_tree)
+            ):
+                yield self.finding(
+                    module,
+                    call,
+                    f"algorithm {registration.name!r} is registered "
+                    "supports_hypergraphs=False but its solver's module "
+                    "never consults is_simple; nothing rejects the "
+                    "complex hyperedges the flag promises to refuse",
+                )
+            if registration.cacheable and resolved.imports_random:
+                yield self.finding(
+                    module,
+                    call,
+                    f"algorithm {registration.name!r} is cacheable=True "
+                    "(the default) but its solver's module imports "
+                    "'random'; randomized plans must not be replayed "
+                    "from the plan cache — register cacheable=False or "
+                    "suppress if the randomness cannot reach the plan",
+                    severity=WARNING,
+                )

@@ -1,0 +1,109 @@
+"""Finding objects and inline suppressions for the analysis suite.
+
+A :class:`Finding` is one violation of one rule, anchored to a
+``file:line`` so editors and CI logs can jump to it.  Severities are
+deliberately just two: ``error`` (fails the build) and ``warning``
+(reported, never fatal).
+
+Suppressions are inline comments in the checked source::
+
+    self._entries.clear()          # repro: ignore[lock-discipline]
+    import pickle                  # repro: ignore[no-pickle]
+    # repro: ignore[cache-key-completeness]
+    scratch: int = 0
+
+A suppression on the finding's own line, or on its own on the line
+directly above, silences exactly the bracketed rules (comma-separated).
+A bare ``# repro: ignore`` without brackets silences every rule on
+that line — use sparingly; the bracketed form documents *which*
+invariant is being waived.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+ERROR = "error"
+WARNING = "warning"
+
+#: ``# repro: ignore`` / ``# repro: ignore[rule-a, rule-b]``
+_SUPPRESSION = re.compile(
+    r"#\s*repro:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\- ]*)\])?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    message: str
+    path: str
+    line: int
+    severity: str = ERROR
+
+    def render(self) -> str:
+        """Human one-liner: ``path:line: severity: [rule] message``."""
+        return (
+            f"{self.path}:{self.line}: {self.severity}: "
+            f"[{self.rule}] {self.message}"
+        )
+
+    def to_dict(self) -> "dict[str, object]":
+        """JSON-friendly representation (``--json`` output)."""
+        return {
+            "rule": self.rule,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "severity": self.severity,
+        }
+
+
+@dataclass
+class SuppressionIndex:
+    """Per-file map ``line -> suppressed rule names`` (``None`` = all).
+
+    Built once per source file from its raw text; checkers never parse
+    comments themselves.  A line suppresses a rule when its own
+    suppression mentions it, or when the *previous* line is a pure
+    suppression comment mentioning it (the "decorate the next line"
+    form shown in the module docstring).
+    """
+
+    #: line number -> set of rule names, or None meaning "every rule"
+    by_line: "dict[int, set[str] | None]" = field(default_factory=dict)
+    #: lines that contain nothing but a suppression comment
+    standalone: "set[int]" = field(default_factory=set)
+
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionIndex":
+        index = cls()
+        for number, text in enumerate(source.splitlines(), start=1):
+            match = _SUPPRESSION.search(text)
+            if match is None:
+                continue
+            rules = match.group("rules")
+            if rules is None:
+                index.by_line[number] = None
+            else:
+                index.by_line[number] = {
+                    rule.strip() for rule in rules.split(",") if rule.strip()
+                }
+            if text[: match.start()].strip() == "":
+                index.standalone.add(number)
+        return index
+
+    def _matches(self, line: int, rule: str) -> bool:
+        if line not in self.by_line:
+            return False
+        rules = self.by_line[line]
+        return rules is None or rule in rules
+
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        """True when ``rule`` is waived for source line ``line``."""
+        if self._matches(line, rule):
+            return True
+        previous = line - 1
+        return previous in self.standalone and self._matches(previous, rule)

@@ -1,0 +1,289 @@
+"""AST-walking checker framework for the invariant analysis suite.
+
+The plan-cache serving core rests on invariants the type system cannot
+express — "every config field participates in the cache key", "cache
+state only mutates under the lock", "persistence never pickles".  This
+framework decides them by analyzing the program text (in the spirit of
+static query-equivalence reasoning: properties of the *text*, not of
+any particular execution):
+
+* a :class:`SourceModule` is one parsed file: path, source, AST, and
+  its :class:`~repro.analysis.findings.SuppressionIndex`;
+* a :class:`Checker` implements one rule family: ``applies_to`` scopes
+  it (by path or by content) and ``check`` yields
+  :class:`~repro.analysis.findings.Finding` objects;
+* :func:`run_analysis` walks a file set (default: the installed
+  ``repro`` package source) through every checker and folds the
+  surviving — i.e. unsuppressed — findings into a :class:`Report`.
+
+Checkers must be pure functions of the module text: no imports of the
+checked code, no execution.  That keeps the suite runnable on broken
+or half-refactored trees, which is exactly when you want it.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Sequence
+
+from .findings import ERROR, Finding, SuppressionIndex
+
+#: the package directory the default (no-arguments) run analyzes
+PACKAGE_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file handed to every checker."""
+
+    path: pathlib.Path
+    source: str
+    tree: ast.Module
+    suppressions: SuppressionIndex
+
+    @classmethod
+    def parse(
+        cls, path: pathlib.Path, source: Optional[str] = None
+    ) -> "SourceModule":
+        if source is None:
+            source = path.read_text(encoding="utf-8")
+        return cls(
+            path=path,
+            source=source,
+            tree=ast.parse(source, filename=str(path)),
+            suppressions=SuppressionIndex.from_source(source),
+        )
+
+    @property
+    def display_path(self) -> str:
+        """Repo-relative path when possible (stable test/CI output)."""
+        for base in (PACKAGE_ROOT.parent.parent, pathlib.Path.cwd()):
+            try:
+                return str(self.path.relative_to(base))
+            except ValueError:
+                continue
+        return str(self.path)
+
+
+class Checker:
+    """Base class: one rule family, applied per file.
+
+    Subclasses set :attr:`rule` (the primary rule id used in findings
+    and ``# repro: ignore[...]`` brackets; a checker may emit findings
+    under additional ids) and implement :meth:`check`.
+    """
+
+    #: primary rule id, e.g. ``"lock-discipline"``
+    rule: str = ""
+    #: one-line summary for ``--list`` output and docs
+    description: str = ""
+
+    def applies_to(self, module: SourceModule) -> bool:
+        """Scope hook: default is every module in the run set."""
+        return True
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    # -- helpers shared by the concrete checkers -------------------------
+
+    def finding(
+        self,
+        module: SourceModule,
+        node: "ast.AST | int",
+        message: str,
+        severity: str = ERROR,
+        rule: Optional[str] = None,
+    ) -> Finding:
+        """Build a finding anchored to ``node`` (or a raw line number)."""
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        return Finding(
+            rule=rule if rule is not None else self.rule,
+            message=message,
+            path=module.display_path,
+            line=line,
+            severity=severity,
+        )
+
+
+@dataclass
+class Report:
+    """Outcome of one analysis run."""
+
+    findings: "list[Finding]" = field(default_factory=list)
+    suppressed: int = 0
+    files: int = 0
+    checkers: "list[str]" = field(default_factory=list)
+
+    @property
+    def errors(self) -> "list[Finding]":
+        return [f for f in self.findings if f.severity == ERROR]
+
+    @property
+    def exit_code(self) -> int:
+        """0 when no unsuppressed *error* findings survived."""
+        return 1 if self.errors else 0
+
+    def render(self) -> str:
+        """Human output: one line per finding plus a summary line."""
+        lines = [finding.render() for finding in self.findings]
+        lines.append(
+            f"analysis: {len(self.findings)} finding"
+            f"{'' if len(self.findings) == 1 else 's'} "
+            f"({len(self.errors)} errors, {self.suppressed} suppressed) "
+            f"across {self.files} files, "
+            f"checkers: {', '.join(self.checkers)}"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "findings": [f.to_dict() for f in self.findings],
+                "suppressed": self.suppressed,
+                "files": self.files,
+                "checkers": self.checkers,
+                "exit_code": self.exit_code,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+def iter_package_files(root: pathlib.Path = PACKAGE_ROOT) -> Iterator[pathlib.Path]:
+    """Every ``.py`` file of the analyzed package, analysis excluded.
+
+    The suite never checks itself: its fixtures-in-docstrings and rule
+    tables would trip the very patterns it searches for.
+    """
+    analysis_dir = pathlib.Path(__file__).resolve().parent
+    for path in sorted(root.rglob("*.py")):
+        if analysis_dir in path.parents:
+            continue
+        yield path
+
+
+def run_analysis(
+    paths: Optional[Sequence["pathlib.Path | str"]] = None,
+    checkers: Optional[Sequence[Checker]] = None,
+) -> Report:
+    """Run ``checkers`` over ``paths`` and collect surviving findings.
+
+    Args:
+        paths: files to analyze; default is the whole ``repro`` package
+            source (the CI gate).  Directories are walked recursively.
+        checkers: checker instances; default is the full registered
+            suite (:data:`repro.analysis.checkers.ALL_CHECKERS`).
+    """
+    if checkers is None:
+        from .checkers import ALL_CHECKERS
+
+        checkers = [factory() for factory in ALL_CHECKERS]
+    if paths is None:
+        files = list(iter_package_files())
+    else:
+        files = []
+        for raw in paths:
+            path = pathlib.Path(raw)
+            if path.is_dir():
+                files.extend(sorted(path.rglob("*.py")))
+            else:
+                files.append(path)
+    report = Report(checkers=[checker.rule for checker in checkers])
+    modules = [SourceModule.parse(path) for path in files]
+    report.files = len(modules)
+    for checker in checkers:
+        for module in modules:
+            if not checker.applies_to(module):
+                continue
+            for finding in checker.check(module):
+                if module.suppressions.is_suppressed(
+                    finding.line, finding.rule
+                ):
+                    report.suppressed += 1
+                else:
+                    report.findings.append(finding)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return report
+
+
+def check_source(
+    source: str,
+    checker: Checker,
+    path: str = "<string>",
+) -> "list[Finding]":
+    """Run one checker over an in-memory source string.
+
+    Convenience for tests and documentation examples; suppressions
+    work exactly as they do for on-disk files.
+    """
+    module = SourceModule.parse(pathlib.Path(path), source=source)
+    if not checker.applies_to(module):
+        return []
+    findings = []
+    for finding in checker.check(module):
+        if not module.suppressions.is_suppressed(finding.line, finding.rule):
+            findings.append(finding)
+    return findings
+
+
+# -- small AST utilities shared by the checkers ------------------------------
+
+
+def decorator_name(node: ast.expr) -> str:
+    """Dotted name of a decorator expression (calls unwrapped)."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    parts: "list[str]" = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def is_self_attribute(node: ast.AST, attr: Optional[str] = None) -> bool:
+    """True for ``self.<attr>`` (any attribute when ``attr`` is None)."""
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and (attr is None or node.attr == attr)
+    )
+
+
+def self_attribute_reads(body: Sequence[ast.stmt]) -> "set[str]":
+    """Every ``self.X`` attribute name referenced under ``body``."""
+    names: "set[str]" = set()
+    for statement in body:
+        for node in ast.walk(statement):
+            if is_self_attribute(node):
+                names.add(node.attr)  # type: ignore[attr-defined]
+    return names
+
+
+def literal_string_elements(node: ast.expr) -> Optional["set[str]"]:
+    """String elements of a literal set/frozenset/tuple/list, else None."""
+    if isinstance(node, ast.Call) and decorator_name(node.func) in (
+        "frozenset",
+        "set",
+        "tuple",
+    ):
+        if len(node.args) != 1:
+            return None
+        node = node.args[0]
+    if isinstance(node, (ast.Set, ast.Tuple, ast.List)):
+        elements: "set[str]" = set()
+        for element in node.elts:
+            if isinstance(element, ast.Constant) and isinstance(
+                element.value, str
+            ):
+                elements.add(element.value)
+            else:
+                return None
+        return elements
+    return None

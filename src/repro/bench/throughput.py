@@ -321,13 +321,20 @@ def render_summary(document: dict) -> str:
         f"python {document['python']}, copies={document['copies']})"
     ]
     for entry in document["workloads"]:
-        lines.append(
+        line = (
             f"  {entry['query']:>12}  cold={entry['cold_qps']:>9} q/s  "
             f"warm={entry['warm_qps']:>10} q/s  "
             f"hot={entry['hot_qps']:>10} q/s  "
             f"speedup={entry['speedup']:.1f}x  "
             f"hit_rate={entry['hot_hit_rate']:.0%}"
         )
+        fallbacks = entry.get("cache", {}).get("canonical_fallbacks", 0)
+        if fallbacks:
+            # keys built from the budget-exhausted index-order fallback:
+            # relabelings of these queries cannot share entries, so the
+            # hit rate above is labeling-limited, not capacity-limited
+            line += f"  canonical_fallbacks={fallbacks}"
+        lines.append(line)
     drifting = document.get("drifting")
     if drifting:
         lines.append(

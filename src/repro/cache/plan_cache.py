@@ -71,7 +71,10 @@ class PlanCache:
     * ``evictions`` — entries dropped by the LRU bound;
     * ``stores`` — entries written (insert or refresh);
     * ``restored`` — entries bulk-inserted by the persistence layer
-      (:meth:`absorb` — disk loads and process-pool warm-ups).
+      (:meth:`absorb` — disk loads and process-pool warm-ups);
+    * ``canonical_fallbacks`` — lookups keyed through the
+      budget-exhausted index-order fallback instead of a true
+      canonical labeling (see :meth:`note_canonical_fallback`).
     """
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
@@ -88,6 +91,13 @@ class PlanCache:
         self.stores = 0
         self.replay_failures = 0
         self.restored = 0
+        #: lookups whose key was built from the *non-canonical*
+        #: index-order fallback because canonical labeling exhausted
+        #: its search budget (uniform-stats cliques are the worst
+        #: case).  Such keys still dedupe exact repeats but miss
+        #: isomorphic relabelings, so a high value explains a low hit
+        #: rate that extra capacity cannot fix.
+        self.canonical_fallbacks = 0
         #: monotone content-change counter (stores, restores, drops,
         #: epoch bumps, clears).  Pure lookups never bump it, so
         #: persistence can skip rewriting an unchanged cache: a warm
@@ -219,6 +229,17 @@ class PlanCache:
                 self._entries.popitem(last=False)
             return len(self._entries)
 
+    def note_canonical_fallback(self) -> None:
+        """Count one budget-exhausted (non-canonical) key construction.
+
+        Called by the fingerprint stage when
+        :class:`~repro.cache.keys.CacheKeyInfo` reports
+        ``canonical=False``; a diagnostics counter only, never part of
+        correctness (the fallback key is safe, just less shareable).
+        """
+        with self._lock:
+            self.canonical_fallbacks += 1
+
     def note_replay_failure(self, key: Any) -> None:
         """Reclassify a just-served hit whose recipe failed to replay.
 
@@ -301,6 +322,7 @@ class PlanCache:
             "stores": self.stores,
             "replay_failures": self.replay_failures,
             "restored": self.restored,
+            "canonical_fallbacks": self.canonical_fallbacks,
             "size": len(self._entries),
             "capacity": self.capacity,
             "epoch": self._epoch,

@@ -41,7 +41,7 @@ PROCESS_SCOPE_MARKER = "!process-scoped!"
 _PROCESS_NONCE = uuid.uuid4().hex
 
 
-def process_token(value) -> str:
+def process_token(value: object) -> str:
     """Brand ``value`` as valid only within this process lifetime."""
     return f"{PROCESS_SCOPE_MARKER}:{_PROCESS_NONCE}:{value}"
 

@@ -35,7 +35,16 @@ import os
 import threading
 import warnings
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, Union
+from typing import (
+    Any,
+    Callable,
+    ClassVar,
+    Iterable,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from .cache import (
     DEFAULT_CAPACITY,
@@ -372,7 +381,7 @@ class NormalizeStage:
             ctx.cacheable = ctx.info.cacheable
         ctx.builder = builder
 
-    def _tree(self, ctx: PipelineContext, tree) -> None:
+    def _tree(self, ctx: PipelineContext, tree: Any) -> None:
         # Local imports: repro.algebra imports the facade wrappers.
         from .algebra.hyperedges import compile_tree
         from .algebra.optree import (
@@ -429,6 +438,12 @@ class FingerprintStage:
             ctx.resolved_cardinalities,
             ctx.config.cache_key() + (resolved,),
         )
+        if not ctx.key_info.canonical:
+            # canonicalization hit its budget (uniform-stats cliques):
+            # the index-order fallback key still dedupes exact repeats
+            # but not relabelings — count it so operators can see when
+            # the hit rate is limited by labeling, not capacity
+            ctx.cache.note_canonical_fallback()
 
 
 class CacheStage:
@@ -662,6 +677,29 @@ class OptimizerConfig:
     executor: str = "thread"
     pipeline: PipelineStages = DEFAULT_PIPELINE
 
+    #: Fields that can never change the *resulting plan* and therefore
+    #: stay out of :meth:`cache_key` on purpose.  The static analysis
+    #: suite (rule ``cache-key-completeness``) enforces that every
+    #: field is either read inside ``cache_key()`` or listed here — a
+    #: new knob cannot silently leak out of the key.
+    CACHE_KEY_EXCLUDED: ClassVar[frozenset] = frozenset({
+        # materialized into the statistics signature before keying
+        "default_cardinality",
+        # applied to the graph before fingerprinting
+        "on_disconnected",
+        # correctness-neutral DPhyp work-saving knobs
+        "minimize_neighborhoods",
+        "memoize_neighborhoods",
+        # cache/persistence/executor plumbing: never changes the plan
+        "cache",
+        "cache_size",
+        "cache_path",
+        "cache_autosave",
+        "parallel_workers",
+        "executor",
+        "pipeline",
+    })
+
     def __post_init__(self) -> None:
         if self.mode not in ("hyperedges", "tes-filter"):
             raise ValueError("mode must be 'hyperedges' or 'tes-filter'")
@@ -847,7 +885,7 @@ class Optimizer:
         self,
         config: Optional[OptimizerConfig] = None,
         plan_cache: Optional[PlanCache] = None,
-        **overrides,
+        **overrides: Any,
     ) -> None:
         if config is None:
             config = OptimizerConfig(**overrides)
@@ -938,7 +976,7 @@ class Optimizer:
 
     def optimize(
         self,
-        query,
+        query: Any,
         cardinalities: Optional[Sequence[float]] = None,
         builder: Optional[PlanBuilder] = None,
     ) -> OptimizationResult:
@@ -1110,7 +1148,7 @@ class Optimizer:
         return results
 
     def _probe_for_process_batch(
-        self, query, cache: Optional[PlanCache]
+        self, query: Any, cache: Optional[PlanCache]
     ) -> "tuple[PipelineContext, Optional[OptimizationResult]]":
         """Prepare ``query`` and serve it from ``cache`` if present.
 
@@ -1189,7 +1227,7 @@ class Optimizer:
 
     def _run_pipeline(
         self,
-        query,
+        query: Any,
         cardinalities: Optional[Sequence[float]],
         builder: Optional[PlanBuilder],
         cache: Optional[PlanCache],
@@ -1258,7 +1296,7 @@ def _process_worker_init(
     _WORKER_STATE["cache"] = cache
 
 
-def _process_worker_run(query) -> dict:
+def _process_worker_run(query: Any) -> dict:
     """Optimize one query in a worker; return a picklable payload.
 
     The payload is *not* the plan (a worker's Plan holds its own graph

@@ -1,0 +1,23 @@
+"""Seeded violations for ``no-pickle`` / ``no-builtin-hash``.
+
+Lives under an ``analysis_fixtures/cache/`` directory on purpose: the
+checker scopes itself to cache persistence paths by path component.
+Parsed by tests, never imported.
+"""
+
+import json
+import pickle                      # VIOLATION: no-pickle
+from marshal import dumps          # VIOLATION: no-pickle (marshal)
+
+
+def save_entry(key: tuple, recipe: tuple) -> str:
+    token = hash(key)              # VIOLATION: no-builtin-hash
+    return json.dumps({"token": token, "recipe": repr(recipe)})
+
+
+def save_blob(recipe: tuple) -> bytes:
+    return pickle.dumps(recipe) + dumps(recipe)
+
+
+def sanctioned_fallback(key: tuple) -> int:
+    return hash(key)               # repro: ignore[no-builtin-hash]

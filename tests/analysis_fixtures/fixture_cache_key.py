@@ -1,0 +1,58 @@
+"""Seeded violations for the ``cache-key-completeness`` rule.
+
+This file is *parsed* by the analysis suite in tests, never imported;
+every violation here must produce a finding (tests pin the lines).
+"""
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+
+@dataclass(frozen=True)
+class LeakyConfig:
+    """``threshold`` reaches the plan but not the key: the stale-plan bug."""
+
+    algorithm: str = "auto"
+    threshold: int = 14          # VIOLATION: not keyed, not excluded
+    cache_size: int = 512
+    retired_knob_missing: ClassVar[frozenset] = frozenset()
+
+    CACHE_KEY_EXCLUDED: ClassVar[frozenset] = frozenset({
+        "cache_size",
+        "retired_knob",          # VIOLATION: names no field (stale)
+    })
+
+    def cache_key(self) -> tuple:
+        return (self.algorithm,)
+
+
+class CostModel:
+    """Stand-in base so the hierarchy rule applies to this file."""
+
+    def cache_key(self) -> tuple:
+        return (type(self).__qualname__,)
+
+
+class ParamModel(CostModel):
+    """Parameterized model whose key ignores one parameter."""
+
+    def __init__(self, build_factor: float, probe_factor: float) -> None:
+        self.build_factor = build_factor
+        self.probe_factor = probe_factor    # VIOLATION: not in cache_key
+
+    def cache_key(self) -> tuple:
+        return (type(self).__qualname__, self.build_factor)
+
+
+class ForgetfulModel(CostModel):
+    """Parameterized model with no cache_key override at all."""
+
+    def __init__(self, weight: float) -> None:   # VIOLATION (class line)
+        self.weight = weight
+
+
+class StatelessModel(CostModel):
+    """No parameters: the inherited per-class key is fine (no finding)."""
+
+    def join_cost(self) -> float:
+        return 0.0

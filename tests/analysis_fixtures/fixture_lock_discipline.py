@@ -1,0 +1,38 @@
+"""Seeded violations for the ``lock-discipline`` rule.
+
+A class owning ``self._lock`` mutates guarded state outside the lock
+in several shapes (plain write, augmented write, container mutator,
+subscript write).  Parsed by tests, never imported.
+"""
+
+import threading
+
+
+class RacyCache:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    def store(self, key: object, value: object) -> None:
+        with self._lock:
+            self._entries[key] = value          # guarded: no finding
+        self.hits += 1                          # VIOLATION: augmented write
+
+    def drop(self, key: object) -> None:
+        self._entries.pop(key, None)            # VIOLATION: mutator call
+
+    def reset(self) -> None:
+        self.misses = 0                         # VIOLATION: plain write
+        with self._lock:
+            self.hits = 0                       # guarded: no finding
+
+    def alias_write(self, key: object) -> None:
+        self._entries[key] = None               # VIOLATION: subscript write
+
+    def read_only(self) -> int:
+        return self.hits + len(self._entries)   # reads: no finding
+
+    def audited_fast_path(self) -> None:
+        self.hits += 1     # repro: ignore[lock-discipline]

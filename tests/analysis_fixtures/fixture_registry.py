@@ -1,0 +1,56 @@
+"""Seeded violations for the ``registry-capability`` rule.
+
+Local stand-ins for ``register_algorithm``/``AlgorithmInfo`` so the
+checker's literal-call pattern applies; parsed by tests, never
+imported.
+"""
+
+import random
+
+
+def register_algorithm(info, replace=False):
+    return info
+
+
+class AlgorithmInfo:
+    def __init__(self, **kwargs):
+        self.__dict__.update(kwargs)
+
+
+def solve_two_args(graph, builder):
+    return None
+
+
+def solve_fine(graph, builder, stats=None):
+    return None
+
+
+def solve_no_guard(graph, builder, stats=None):
+    return None
+
+
+register_algorithm(AlgorithmInfo(
+    name="bad-arity",
+    solver=solve_two_args,        # VIOLATION: not (graph, builder, stats)
+    cacheable=False,
+))
+register_algorithm(AlgorithmInfo(
+    name="unguarded-simple-only",
+    solver=solve_no_guard,        # VIOLATION: claims simple-graphs-only
+    supports_hypergraphs=False,   # but nothing consults is_simple
+    cacheable=False,
+))
+register_algorithm(AlgorithmInfo(
+    name="ghost",
+    solver=solve_imported_nowhere,  # VIOLATION: unresolvable  # noqa: F821
+    cacheable=False,
+))
+register_algorithm(AlgorithmInfo(
+    name="randomized",
+    solver=solve_fine,            # VIOLATION (warning): cacheable default
+))                                # in a module importing random
+register_algorithm(AlgorithmInfo(
+    name="bad-arity",             # VIOLATION: duplicate registration
+    solver=solve_fine,
+    cacheable=False,
+))

@@ -1,0 +1,99 @@
+"""The ``canonical_fallbacks`` plan-cache counter.
+
+Uniform-stats cliques defeat the canonical-labeling budget (every node
+looks identical, so individualization explodes); such lookups key
+through the index-order fallback and must be counted, because their
+hit rate is labeling-limited rather than capacity-limited and an
+operator reading ``bench throughput`` output should be able to tell.
+"""
+
+import pytest
+
+from repro.bench import throughput
+from repro.core.hypergraph import Hypergraph
+from repro.optimizer import Optimizer, OptimizerConfig
+from repro.workloads import generators
+
+
+def uniform_clique(n: int) -> Hypergraph:
+    graph = Hypergraph(n_nodes=n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            graph.add_simple_edge(i, j, selectivity=0.5)
+    return graph
+
+
+class TestCounter:
+    def test_uniform_clique_counts_every_lookup(self):
+        opt = Optimizer(OptimizerConfig(cache="on", algorithm="dphyp"))
+        graph = uniform_clique(8)
+        cards = [100.0] * 8
+        opt.optimize(graph, cardinalities=cards)
+        opt.optimize(graph, cardinalities=cards)
+        counters = opt.plan_cache.counters()
+        assert counters["canonical_fallbacks"] == 2
+        assert counters["hits"] == 1  # fallback keys still dedupe repeats
+
+    def test_asymmetric_queries_never_fall_back(self):
+        opt = Optimizer(OptimizerConfig(cache="on"))
+        for query in (generators.chain(7, seed=1), generators.star(6, seed=2)):
+            opt.optimize(query.graph, cardinalities=query.cardinalities)
+        assert opt.plan_cache.counters()["canonical_fallbacks"] == 0
+
+    def test_cache_off_does_not_touch_the_counter(self):
+        opt = Optimizer(OptimizerConfig(cache="off"))
+        graph = uniform_clique(8)
+        opt.optimize(graph, cardinalities=[100.0] * 8)
+        assert opt.plan_cache.counters()["canonical_fallbacks"] == 0
+
+    def test_counter_survives_reset_semantics(self):
+        opt = Optimizer(OptimizerConfig(cache="on", algorithm="dphyp"))
+        graph = uniform_clique(8)
+        opt.optimize(graph, cardinalities=[100.0] * 8)
+        before = opt.plan_cache.counters()["canonical_fallbacks"]
+        assert before == 1
+        opt.optimize(uniform_clique(8), cardinalities=[100.0] * 8)
+        assert opt.plan_cache.counters()["canonical_fallbacks"] == 2
+
+
+class TestBenchSurface:
+    def make_document(self, fallbacks: int) -> dict:
+        return {
+            "schema_version": 1,
+            "python": "3.11",
+            "copies": 3,
+            "workloads": [{
+                "query": "clique-8",
+                "workload": "clique-8",
+                "cold_qps": 10.0,
+                "warm_qps": 100.0,
+                "hot_qps": 1000.0,
+                "speedup": 100.0,
+                "hot_hit_rate": 1.0,
+                "cache": {"canonical_fallbacks": fallbacks},
+            }],
+        }
+
+    def test_summary_reports_nonzero_fallbacks(self):
+        text = throughput.render_summary(self.make_document(7))
+        assert "canonical_fallbacks=7" in text
+
+    def test_summary_stays_quiet_at_zero(self):
+        text = throughput.render_summary(self.make_document(0))
+        assert "canonical_fallbacks" not in text
+
+    def test_throughput_run_carries_counter_in_cache_section(self):
+        document = throughput.run_throughput(max_n=5, copies=3)
+        for entry in document["workloads"]:
+            assert "canonical_fallbacks" in entry["cache"]
+
+
+def test_counter_round_trips_counters_dict():
+    from repro.cache import PlanCache
+
+    cache = PlanCache()
+    assert cache.counters()["canonical_fallbacks"] == 0
+    cache.note_canonical_fallback()
+    cache.note_canonical_fallback()
+    cache.note_canonical_fallback()
+    assert cache.counters()["canonical_fallbacks"] == 3

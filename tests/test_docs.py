@@ -14,8 +14,14 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 def test_docs_exist():
     docs = REPO_ROOT / "docs"
-    for name in ("architecture.md", "cache.md", "paper_map.md"):
+    for name in ("architecture.md", "cache.md", "paper_map.md",
+                 "analysis.md"):
         assert (docs / name).is_file(), f"docs/{name} is missing"
+
+
+def test_architecture_links_analysis():
+    text = (REPO_ROOT / "docs" / "architecture.md").read_text()
+    assert "analysis.md" in text
 
 
 def test_doc_snippets_execute():
