@@ -2,9 +2,12 @@
 
 Applies to every class that creates ``self._lock`` in ``__init__``
 (:class:`~repro.cache.plan_cache.PlanCache` is the load-bearing one:
-it backs concurrent ``optimize_many`` threads).  Inside such a class,
+it backs concurrent ``optimize_many`` threads; the serving daemon's
+``PlanServer`` is the asyncio counterpart, its ``asyncio.Lock``
+serializing request handlers at await points).  Inside such a class,
 every *write* to instance state in any method other than ``__init__``
-must be lexically inside a ``with self._lock:`` block:
+— ``async def`` coroutine methods included — must be lexically inside
+a ``with self._lock:`` (or ``async with self._lock:``) block:
 
 * plain / augmented / annotated assignments to ``self.X``;
 * subscript assignments and deletions on ``self.X[...]``;
@@ -55,7 +58,7 @@ def _creates_lock(node: ast.ClassDef) -> bool:
     return False
 
 
-def _is_lock_with(node: ast.With) -> bool:
+def _is_lock_with(node: "ast.With | ast.AsyncWith") -> bool:
     return any(
         is_self_attribute(item.context_expr, LOCK_ATTRIBUTE)
         for item in node.items
@@ -71,7 +74,8 @@ def _walk_with_guard(
     *reset* — a closure defined under the lock does not run under it.
     """
     yield node, guarded
-    if isinstance(node, ast.With) and _is_lock_with(node):
+    # AsyncWith: an asyncio.Lock guards coroutine state the same way
+    if isinstance(node, (ast.With, ast.AsyncWith)) and _is_lock_with(node):
         guarded = True
     for child in ast.iter_child_nodes(node):
         if isinstance(
@@ -121,7 +125,12 @@ class LockDisciplineChecker(Checker):
         self, module: SourceModule, node: ast.ClassDef
     ) -> Iterator[Finding]:
         for method in node.body:
-            if not isinstance(method, ast.FunctionDef):
+            # async methods are not exempt: awaiting inside a handler
+            # yields control, so unguarded self.X writes interleave
+            # across requests exactly like cross-thread writes do
+            if not isinstance(
+                method, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
                 continue
             if method.name == "__init__":
                 continue

@@ -13,6 +13,14 @@ every module under a ``cache/`` directory:
   process-instability class);
 * ``no-builtin-hash`` — calls to the builtin ``hash(...)``
   (``hashlib`` digests are the sanctioned, stable alternative).
+
+The serving daemon (:mod:`repro.serving`) lives under the same
+contract: its wire protocol is length-prefixed JSON and its worker
+warm-ups ship ``dump_document`` snapshots / ``sync_since`` deltas, so
+``serving/`` modules are covered too.  (The stdlib
+``ProcessPoolExecutor`` pickles *internally* between parent and forked
+children — that is trusted same-machine IPC, not a file or socket
+format, and needs no ``pickle`` import in serving code.)
 """
 
 from __future__ import annotations
@@ -35,7 +43,12 @@ class NoPickleChecker(Checker):
     )
 
     def applies_to(self, module: SourceModule) -> bool:
-        return "cache" in module.path.parts
+        # serving/ speaks length-prefixed JSON over sockets — the same
+        # untrusted-bytes class as the cache file, same rules
+        return (
+            "cache" in module.path.parts
+            or "serving" in module.path.parts
+        )
 
     def check(self, module: SourceModule) -> Iterable[Finding]:
         for node in ast.walk(module.tree):

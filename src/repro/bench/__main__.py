@@ -33,6 +33,10 @@ def main(argv=None) -> int:
         from .throughput import main as throughput_main
 
         return throughput_main(argv[1:])
+    if argv and argv[0] == "serving":
+        from .serving import main as serving_main
+
+        return serving_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -60,6 +64,11 @@ def main(argv=None) -> int:
         "throughput",
         help="plan-cache serving throughput (hot vs cold q/s), "
              "emit BENCH_*.json",
+    )
+    sub.add_parser(
+        "serving",
+        help="resident plan-serving daemon vs per-batch process pools "
+             "(q/s, p50/p99, delta-sync bytes), emit BENCH_*.json",
     )
     args = parser.parse_args(argv)
 

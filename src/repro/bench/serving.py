@@ -1,0 +1,416 @@
+"""Serving-daemon bench: resident pool vs per-batch pool, delta sync.
+
+Two phases, emitted as one JSON document (``BENCH_pr7_serving.json``
+is the committed baseline):
+
+**serving** — N concurrent clients drive a mixed hot/cold workload
+(two thirds repeats of shared shapes, one third unique-statistics
+queries that always miss) against
+
+* a resident :class:`~repro.serving.server.PlanServer` — one worker
+  pool for the whole run, workers kept warm with ``sync_since``
+  deltas; per-request latency is recorded client-side (p50/p99), and
+* the **baseline**: the same requests grouped into per-wave batches
+  through ``optimize_many(executor="process")`` on one shared
+  optimizer — the pre-daemon serving story, which pays pool spawn and
+  a full snapshot warm-up for every batch that contains a miss (and
+  every wave does, by construction).
+
+The daemon must sustain >= ``--min-speedup`` (the PR gate: 3x) times
+the baseline's q/s.
+
+**delta_sync** — deterministic proof that re-syncing a worker after
+100 new entries ships *only* the delta: a cache is warmed with 150
+real optimized entries, the mutation cursor is taken, 100 more are
+added, and the ``sync_since(cursor)`` delta is measured in entries and
+``repr`` bytes against a full ``sync_since(0)`` re-warm.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench serving --out BENCH_new.json
+    PYTHONPATH=src python -m repro.bench serving --clients 8 \
+        --requests 30 --min-speedup 3
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import statistics
+import sys
+import threading
+import time
+from typing import Any, Optional
+
+from ..optimizer import Optimizer, OptimizerConfig, QuerySpec
+from ..serving import BackgroundServer, PlanClient
+
+#: bump when the JSON layout changes incompatibly
+SCHEMA_VERSION = 1
+
+REQUIRED_KEYS = ("schema_version", "label", "python", "serving", "delta_sync")
+REQUIRED_SERVING_KEYS = (
+    "clients", "requests_per_client", "n_requests", "daemon_qps",
+    "baseline_qps", "speedup", "p50_ms", "p99_ms", "daemon_sync",
+)
+REQUIRED_DELTA_KEYS = (
+    "warm_entries", "added_entries", "delta_entries", "delta_bytes",
+    "full_entries", "full_bytes", "bytes_ratio",
+)
+
+
+def _chain_spec(n: int, base_card: float, tag: int = 0) -> QuerySpec:
+    """A chain query whose statistics are pinned by ``base_card``/``tag``.
+
+    Distinct ``(base_card, tag)`` pairs give distinct statistics
+    signatures, hence distinct cache keys — the bench's unique-miss
+    generator.
+    """
+    relations = [
+        (f"r{index}", base_card + 10.0 * index + tag)
+        for index in range(n)
+    ]
+    joins = [
+        (f"r{index}", f"r{index + 1}", 0.01) for index in range(n - 1)
+    ]
+    return QuerySpec(relations=relations, joins=joins)
+
+
+def _hot_specs() -> "list[QuerySpec]":
+    """The shared shapes every client repeats (the hot working set)."""
+    star = QuerySpec(
+        relations=[("hub", 1000.0)] + [
+            (f"s{index}", 50.0 + index) for index in range(5)
+        ],
+        joins=[("hub", f"s{index}", 0.02) for index in range(5)],
+    )
+    cycle_names = [f"c{index}" for index in range(6)]
+    cycle = QuerySpec(
+        relations=[(name, 100.0 + 7 * i) for i, name in enumerate(cycle_names)],
+        joins=[
+            (cycle_names[i], cycle_names[(i + 1) % 6], 0.05)
+            for i in range(6)
+        ],
+    )
+    return [_chain_spec(7, 100.0), cycle, star]
+
+
+def build_workload(
+    clients: int, requests: int
+) -> "list[list[QuerySpec]]":
+    """Per-client request sequences, two-thirds hot / one-third cold.
+
+    Every third request is a unique-statistics chain (a guaranteed
+    miss that must go to a worker); the rest cycle through the shared
+    hot shapes, which all clients hit after first contact.  The cold
+    slots are staggered per client so misses arrive continuously, the
+    way unsynchronized clients produce them — every baseline wave
+    below therefore contains at least one miss and pays the per-batch
+    pool setup, rather than misses phase-locking into a few waves.
+    """
+    hot = _hot_specs()
+    workload: "list[list[QuerySpec]]" = []
+    for client in range(clients):
+        sequence = []
+        for index in range(requests):
+            if (index + client) % 3 == 0:
+                sequence.append(
+                    _chain_spec(6, 1000.0 + 100.0 * client, tag=index)
+                )
+            else:
+                sequence.append(hot[index % len(hot)])
+        workload.append(sequence)
+    return workload
+
+
+def _warm_cache_file(directory: str, entries: int) -> "tuple[str, str]":
+    """Persist a cache of ``entries`` real plans; return two copies.
+
+    Both contenders resume from the same persisted state — the
+    realistic serving setup, where a daemon restart or a batch job
+    starts from yesterday's cache.  Each side gets its own copy so the
+    daemon's shutdown autosave cannot alter what the baseline loads.
+    """
+    import shutil
+
+    warmer = Optimizer(OptimizerConfig(cache="on"))
+    warmer.optimize_many(
+        [_chain_spec(5, 100.0, tag=i) for i in range(entries)]
+    )
+    daemon_copy = f"{directory}/warm_daemon.json"
+    baseline_copy = f"{directory}/warm_baseline.json"
+    warmer.save_cache(daemon_copy)
+    shutil.copy(daemon_copy, baseline_copy)
+    return daemon_copy, baseline_copy
+
+
+def run_serving_phase(
+    clients: int = 8,
+    requests: int = 30,
+    warm_entries: int = 400,
+    max_in_flight: int = 8,
+    queue_limit: int = 64,
+) -> "dict[str, Any]":
+    """Concurrent-load daemon phase vs per-batch process baseline."""
+    import tempfile
+
+    workload = build_workload(clients, requests)
+    n_requests = clients * requests
+
+    # -- resident daemon: one pool, N concurrent blocking clients
+    tmpdir = tempfile.mkdtemp(prefix="bench_serving_")
+    daemon_cache, baseline_cache = _warm_cache_file(tmpdir, warm_entries)
+    latencies: "list[float]" = []
+    latency_lock = threading.Lock()
+    errors: "list[BaseException]" = []
+    barrier = threading.Barrier(clients + 1)
+
+    def drive(sequence: "list[QuerySpec]") -> None:
+        try:
+            with PlanClient(daemon.address, timeout=120.0) as connection:
+                barrier.wait()
+                mine = []
+                for spec in sequence:
+                    started = time.perf_counter()
+                    connection.optimize(spec)
+                    mine.append(time.perf_counter() - started)
+            with latency_lock:
+                latencies.extend(mine)
+        except BaseException as exc:  # surface in the main thread
+            errors.append(exc)
+            try:
+                barrier.abort()
+            except Exception:
+                pass
+
+    with BackgroundServer(
+        OptimizerConfig(cache="on", cache_path=daemon_cache),
+        workers=1,
+        max_in_flight=max_in_flight,
+        queue_limit=queue_limit,
+    ) as daemon:
+        # Untimed startup: one throwaway miss makes the resident worker
+        # sync the warm snapshot once, so the timed section measures
+        # the steady state (delta warm-ups only) the daemon exists for.
+        with PlanClient(daemon.address, timeout=120.0) as warmup:
+            warmup.optimize(_chain_spec(4, 77.0))
+        threads = [
+            threading.Thread(target=drive, args=(sequence,), daemon=True)
+            for sequence in workload
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        daemon_start = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        daemon_wall = time.perf_counter() - daemon_start
+        if errors:
+            raise RuntimeError(f"serving client failed: {errors[0]!r}")
+        with PlanClient(daemon.address) as connection:
+            stats = connection.stats()
+
+    # -- baseline: the same requests as per-wave process batches.
+    # Wave j bundles every client's j-th request; each wave holds at
+    # least one unique-stats miss, so each wave pays pool spawn plus a
+    # full-snapshot worker warm-up — exactly the per-batch serving
+    # story the daemon replaces.  The parent cache is shared across
+    # waves (same as the daemon), so the comparison isolates the pool
+    # lifecycle, not cache hits.  Autosave is off so the baseline is
+    # not additionally charged for per-batch disk writes.
+    baseline = Optimizer(OptimizerConfig(
+        cache="on", cache_path=baseline_cache, cache_autosave=False,
+    ))
+    baseline_start = time.perf_counter()
+    for wave_index in range(requests):
+        wave = [workload[client][wave_index] for client in range(clients)]
+        baseline.optimize_many(wave, executor="process", parallel=1)
+    baseline_wall = time.perf_counter() - baseline_start
+
+    ordered = sorted(latencies)
+
+    def quantile(q: float) -> float:
+        return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+    import shutil
+
+    shutil.rmtree(tmpdir, ignore_errors=True)
+    return {
+        "clients": clients,
+        "requests_per_client": requests,
+        "n_requests": n_requests,
+        "warm_entries": warm_entries,
+        "hot_shapes": len(_hot_specs()),
+        "daemon_wall_s": round(daemon_wall, 6),
+        "daemon_qps": round(n_requests / daemon_wall, 2),
+        "p50_ms": round(1000.0 * statistics.median(ordered), 3),
+        "p99_ms": round(1000.0 * quantile(0.99), 3),
+        "baseline_wall_s": round(baseline_wall, 6),
+        "baseline_qps": round(n_requests / baseline_wall, 2),
+        "baseline_batches": requests,
+        "speedup": round(baseline_wall / daemon_wall, 3),
+        "daemon_server": stats["server"],
+        "daemon_cache": stats["cache"],
+        "daemon_sync": stats["sync"],
+    }
+
+
+def run_delta_sync_phase(
+    warm_entries: int = 150, added_entries: int = 100
+) -> "dict[str, Any]":
+    """Prove a re-sync after N new entries ships only the delta."""
+    optimizer = Optimizer(OptimizerConfig(cache="on"))
+    cache = optimizer.plan_cache
+    optimizer.optimize_many(
+        [_chain_spec(5, 100.0, tag=i) for i in range(warm_entries)]
+    )
+    cursor = cache.mutations
+    optimizer.optimize_many(
+        [
+            _chain_spec(5, 100.0, tag=warm_entries + i)
+            for i in range(added_entries)
+        ]
+    )
+    delta = cache.sync_since(cursor)
+    full = cache.sync_since(0)
+    delta_bytes = len(repr(delta.entries))
+    full_bytes = len(repr(full.entries))
+    if len(delta.entries) != added_entries:
+        raise AssertionError(
+            f"delta after {added_entries} new entries carried "
+            f"{len(delta.entries)} entries"
+        )
+    if delta_bytes >= full_bytes:
+        raise AssertionError(
+            f"delta ({delta_bytes} B) is not smaller than a full re-warm "
+            f"({full_bytes} B)"
+        )
+    return {
+        "warm_entries": warm_entries,
+        "added_entries": added_entries,
+        "delta_entries": len(delta.entries),
+        "delta_bytes": delta_bytes,
+        "full_entries": len(full.entries),
+        "full_bytes": full_bytes,
+        "bytes_ratio": round(delta_bytes / full_bytes, 4),
+    }
+
+
+def run_serving(
+    clients: int = 8,
+    requests: int = 30,
+    warm_entries: int = 400,
+    label: str = "",
+) -> "dict[str, Any]":
+    """Run both phases; return the JSON document."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "label": label,
+        "created_unix": round(time.time(), 1),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "serving": run_serving_phase(
+            clients=clients, requests=requests, warm_entries=warm_entries
+        ),
+        "delta_sync": run_delta_sync_phase(),
+    }
+
+
+def validate_result(document: "dict[str, Any]") -> None:
+    """Raise ``ValueError`` when ``document`` violates the schema."""
+    for key in REQUIRED_KEYS:
+        if key not in document:
+            raise ValueError(f"serving JSON missing key {key!r}")
+    if document["schema_version"] != SCHEMA_VERSION:
+        raise ValueError(
+            f"schema_version {document['schema_version']!r} != "
+            f"{SCHEMA_VERSION}"
+        )
+    for key in REQUIRED_SERVING_KEYS:
+        if key not in document["serving"]:
+            raise ValueError(f"serving section missing {key!r}")
+    for key in REQUIRED_DELTA_KEYS:
+        if key not in document["delta_sync"]:
+            raise ValueError(f"delta_sync section missing {key!r}")
+
+
+def render_summary(document: "dict[str, Any]") -> str:
+    serving = document["serving"]
+    delta = document["delta_sync"]
+    sync = serving["daemon_sync"]
+    return "\n".join([
+        f"plan-serving bench (schema v{document['schema_version']}, "
+        f"python {document['python']})",
+        f"  daemon:   {serving['daemon_qps']:>9} q/s  "
+        f"p50={serving['p50_ms']}ms p99={serving['p99_ms']}ms  "
+        f"({serving['clients']} clients x "
+        f"{serving['requests_per_client']} requests)",
+        f"  baseline: {serving['baseline_qps']:>9} q/s  "
+        f"({serving['baseline_batches']} process batches)",
+        f"  speedup:  {serving['speedup']}x resident daemon vs per-batch "
+        "pool",
+        f"  warm-ups: {sync['full_syncs']} full, {sync['delta_syncs']} "
+        f"delta ({sync['snapshot_bytes']} B shipped)",
+        f"  delta re-sync: {delta['added_entries']} new entries -> "
+        f"{delta['delta_entries']} shipped, {delta['delta_bytes']} B "
+        f"vs {delta['full_bytes']} B full "
+        f"({delta['bytes_ratio']:.0%})",
+    ])
+
+
+def main(argv: "Optional[list[str]]" = None) -> int:
+    """CLI for the ``serving`` bench subcommand."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="bench_serving",
+        description=(
+            "Measure the resident plan-serving daemon against per-batch "
+            "process pools, plus delta-sync shipping volume"
+        ),
+    )
+    parser.add_argument("--out", default=None)
+    parser.add_argument(
+        "--clients", type=int, default=8,
+        help="concurrent clients (default 8)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=30,
+        help="requests per client (default 30)",
+    )
+    parser.add_argument(
+        "--label", default="", help="free-form label stored in the document"
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="fail (exit 1) when the daemon is not this many times "
+             "faster than per-batch pools (the PR gate: 3)",
+    )
+    args = parser.parse_args(argv)
+
+    document = run_serving(
+        clients=args.clients, requests=args.requests, label=args.label
+    )
+    validate_result(document)
+    print(render_summary(document))
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.min_speedup is not None:
+        speedup = document["serving"]["speedup"]
+        if speedup is None or speedup < args.min_speedup:
+            print(
+                f"SERVING REGRESSION: resident daemon only {speedup}x "
+                f"faster than per-batch pools (required "
+                f"{args.min_speedup}x)",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"resident daemon beats per-batch pools by >= "
+            f"{args.min_speedup}x"
+        )
+    return 0

@@ -26,8 +26,9 @@ from .persist import (
     load,
     restore_document,
     save,
+    save_document,
 )
-from .plan_cache import DEFAULT_CAPACITY, CacheEntry, PlanCache
+from .plan_cache import DEFAULT_CAPACITY, CacheDelta, CacheEntry, PlanCache
 from .recipe import PlanRecipe, plan_recipe, replay_recipe
 
 __all__ = [
@@ -40,7 +41,9 @@ __all__ = [
     "load",
     "restore_document",
     "save",
+    "save_document",
     "DEFAULT_CAPACITY",
+    "CacheDelta",
     "CacheEntry",
     "PlanCache",
     "PlanRecipe",

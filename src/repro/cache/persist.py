@@ -74,10 +74,18 @@ def dump_document(cache: PlanCache) -> dict:
 
     Entries are emitted LRU-first with their epoch stamps; the
     document-level ``epoch`` is the cache's current one, so a loader
-    can tell which entries were already stale at save time.
+    can tell which entries were already stale at save time.  The
+    document also records the cache's ``mutations`` counter, captured
+    **atomically with** the entries
+    (:meth:`~repro.cache.plan_cache.PlanCache.snapshot_state`): a saver
+    that remembers ``document["mutations"]`` knows exactly which
+    content state it persisted, so change detection against
+    :meth:`~repro.cache.plan_cache.PlanCache.sync_since` cannot race a
+    concurrent ``store()`` or ``bump_epoch()``.
     """
+    snapshot, epoch, mutations = cache.snapshot_state()
     entries = []
-    for key, entry in cache.snapshot_entries():
+    for key, entry in snapshot:
         entries.append({
             "key": repr(key),
             "recipe": repr(entry.recipe),
@@ -89,18 +97,19 @@ def dump_document(cache: PlanCache) -> dict:
         "format": FORMAT_NAME,
         "format_version": FORMAT_VERSION,
         "key_version": KEY_VERSION,
-        "epoch": cache.epoch,
+        "epoch": epoch,
+        "mutations": mutations,
         "capacity": cache.capacity,
         "entries": entries,
     }
 
 
-def save(cache: PlanCache, path: str) -> int:
-    """Atomically write ``cache`` to ``path``; return the entry count.
+def save_document(document: dict, path: str) -> int:
+    """Atomically write a :func:`dump_document` snapshot to ``path``.
 
-    The document is written to a temp file in the destination
-    directory and moved into place with :func:`os.replace`, so readers
-    never observe a half-written file.
+    Returns the number of entries written.  The document is written to
+    a temp file in the destination directory and moved into place with
+    :func:`os.replace`, so readers never observe a half-written file.
 
     Entries whose keys are **process-scoped** (identity-keyed cost
     models, replaced solver registrations — see
@@ -109,8 +118,13 @@ def save(cache: PlanCache, path: str) -> int:
     after a restart could serve a plan computed under a different cost
     function or solver.  They keep working in-memory (and in forked
     workers); they simply die with the process.
+
+    Split from :func:`save` so callers that need the snapshot's
+    ``mutations`` stamp (autosave change detection) can dump once and
+    write exactly that state, instead of re-snapshotting inside the
+    writer.
     """
-    document = dump_document(cache)
+    document = dict(document)
     document["entries"] = [
         entry for entry in document["entries"]
         if not is_process_scoped(entry["key"])
@@ -133,6 +147,15 @@ def save(cache: PlanCache, path: str) -> int:
             pass
         raise
     return len(document["entries"])
+
+
+def save(cache: PlanCache, path: str) -> int:
+    """Snapshot ``cache`` and atomically write it; return entry count.
+
+    Thin wrapper over :func:`dump_document` + :func:`save_document` for
+    callers that don't need the snapshot's ``mutations`` stamp.
+    """
+    return save_document(dump_document(cache), path)
 
 
 # -- deserialization ---------------------------------------------------------

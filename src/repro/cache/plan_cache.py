@@ -57,6 +57,40 @@ class CacheEntry:
     structure: Optional[str] = None
     #: cost of the plan when it was first computed (diagnostics only)
     cost: Optional[float] = None
+    #: value of ``PlanCache.mutations`` when this entry was written —
+    #: the cursor :meth:`PlanCache.sync_since` filters on, so delta
+    #: consumers (worker re-warming, autosave change detection) can ask
+    #: for "everything since mutation N" instead of a full snapshot
+    mutation_id: int = 0
+
+
+@dataclass(frozen=True)
+class CacheDelta:
+    """Atomic answer to "what changed since mutation ``since``?".
+
+    Produced by :meth:`PlanCache.sync_since` under one lock
+    acquisition, so ``now``, ``epoch``, and ``entries`` are a
+    consistent view — a concurrent ``store()`` or ``bump_epoch()``
+    lands either entirely before or entirely after this delta.
+
+    ``entries`` holds ``(mutation_id, key, recipe, structure, cost)``
+    tuples for every entry written after ``since``, in LRU order.
+    Deltas are *additive*: drops (``clear``, ``invalidate_structure``,
+    replay-failure evictions) advance ``now`` without shipping
+    anything, which is safe for the serving layer because dropped keys
+    either can no longer be probed (the statistics signature moved) or
+    are refreshed through the epoch that rides along.
+    """
+
+    since: int
+    now: int
+    epoch: int
+    entries: "tuple[tuple[int, Any, Any, Optional[str], Optional[float]], ...]"
+
+    @property
+    def empty(self) -> bool:
+        """True when nothing at all changed since ``since``."""
+        return self.now == self.since
 
 
 class PlanCache:
@@ -161,15 +195,16 @@ class PlanCache:
     ) -> None:
         """Insert or refresh an entry, evicting LRU entries if needed."""
         with self._lock:
+            self.stores += 1
+            self.mutations += 1
             self._entries[key] = CacheEntry(
                 recipe=recipe,
                 epoch=self._epoch,
                 structure=structure,
                 cost=cost,
+                mutation_id=self.mutations,
             )
             self._entries.move_to_end(key)
-            self.stores += 1
-            self.mutations += 1
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
@@ -195,10 +230,78 @@ class PlanCache:
                         epoch=entry.epoch,
                         structure=entry.structure,
                         cost=entry.cost,
+                        mutation_id=entry.mutation_id,
                     ),
                 )
                 for key, entry in self._entries.items()
             ]
+
+    def snapshot_state(self) -> "tuple[list[tuple[Any, CacheEntry]], int, int]":
+        """``(entries, epoch, mutations)`` under ONE lock acquisition.
+
+        The persistence layer's change-detection contract needs the
+        mutation counter captured *atomically with* the entry snapshot:
+        reading them separately races a concurrent ``store()`` or
+        :meth:`bump_epoch` and can stamp a document with a counter that
+        does not match its content.  Entries are copies, LRU-first,
+        exactly as :meth:`snapshot_entries` returns them.
+        """
+        with self._lock:
+            entries = [
+                (
+                    key,
+                    CacheEntry(
+                        recipe=entry.recipe,
+                        epoch=entry.epoch,
+                        structure=entry.structure,
+                        cost=entry.cost,
+                        mutation_id=entry.mutation_id,
+                    ),
+                )
+                for key, entry in self._entries.items()
+            ]
+            return entries, self._epoch, self.mutations
+
+    def sync_since(self, mutation_id: int) -> CacheDelta:
+        """Atomic delta: everything written after mutation ``mutation_id``.
+
+        One lock acquisition yields a consistent ``(now, epoch,
+        entries)`` triple — the API both worker delta-warming and
+        autosave change-detection build on, replacing the racy pattern
+        of reading ``mutations`` and snapshotting entries in separate
+        steps (a concurrent :meth:`bump_epoch` could land in between).
+
+        ``sync_since(0)`` is a full warm-up (every fresh entry
+        qualifies); ``delta.empty`` means nothing changed at all.  Note
+        that a delta with no entries need *not* be empty: epoch bumps
+        and drops advance ``now`` without adding entries, and consumers
+        must still adopt ``now``/``epoch`` in that case.  Entries stale
+        at the *current* epoch are never shipped — consumers absorb
+        entries fresh at their own epoch, so shipping a stale one would
+        resurrect it (the same rule the persistence loader applies).
+        """
+        with self._lock:
+            if mutation_id >= self.mutations:
+                entries: tuple = ()
+            else:
+                entries = tuple(
+                    (
+                        entry.mutation_id,
+                        key,
+                        entry.recipe,
+                        entry.structure,
+                        entry.cost,
+                    )
+                    for key, entry in self._entries.items()
+                    if entry.mutation_id > mutation_id
+                    and entry.epoch == self._epoch
+                )
+            return CacheDelta(
+                since=mutation_id,
+                now=self.mutations,
+                epoch=self._epoch,
+                entries=entries,
+            )
 
     def absorb(
         self, items: "list[tuple[Any, Any, Optional[str], Optional[float]]]"
@@ -216,15 +319,16 @@ class PlanCache:
         """
         with self._lock:
             for key, recipe, structure, cost in items:
+                self.restored += 1
+                self.mutations += 1
                 self._entries[key] = CacheEntry(
                     recipe=recipe,
                     epoch=self._epoch,
                     structure=structure,
                     cost=cost,
+                    mutation_id=self.mutations,
                 )
                 self._entries.move_to_end(key)
-                self.restored += 1
-                self.mutations += 1
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
             return len(self._entries)
@@ -296,6 +400,25 @@ class PlanCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def structure_hot(self, structure: str) -> bool:
+        """True when a *fresh* entry lives in structural bucket ``structure``.
+
+        The ``auto``-dispatch hot-bucket heuristic asks this for
+        borderline query sizes (just above ``exact_threshold``): a hot
+        bucket means this shape is being served repeatedly, so paying
+        exact enumeration once is amortized by the cache.  Entries from
+        older statistics epochs do not count — they would be
+        revalidated, not served.
+        """
+        with self._lock:
+            for entry in self._entries.values():
+                if (
+                    entry.structure == structure
+                    and entry.epoch == self._epoch
+                ):
+                    return True
+            return False
+
     def structures(self) -> dict[str, int]:
         """Entry count per structural bucket (diagnostics)."""
         with self._lock:
@@ -323,6 +446,7 @@ class PlanCache:
             "replay_failures": self.replay_failures,
             "restored": self.restored,
             "canonical_fallbacks": self.canonical_fallbacks,
+            "mutations": self.mutations,
             "size": len(self._entries),
             "capacity": self.capacity,
             "epoch": self._epoch,

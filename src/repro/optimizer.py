@@ -369,7 +369,9 @@ class NormalizeStage:
             # "plan-none": legacy behaviour, let the solver return None
         ctx.kind = "hypergraph"
         ctx.graph = graph
-        ctx.info = _resolve_algorithm(config, graph, from_tree=False)
+        ctx.info = _resolve_algorithm(
+            config, graph, from_tree=False, cache=ctx.cache
+        )
         if builder is None:
             if cardinalities is None:
                 cardinalities = [config.default_cardinality] * graph.n_nodes
@@ -555,12 +557,23 @@ class FinalizeStage:
 
 
 def _resolve_algorithm(
-    config: "OptimizerConfig", graph: Hypergraph, from_tree: bool
+    config: "OptimizerConfig",
+    graph: Hypergraph,
+    from_tree: bool,
+    cache: Optional[PlanCache] = None,
 ) -> AlgorithmInfo:
-    """Map the configured algorithm to a registration for ``graph``."""
+    """Map the configured algorithm to a registration for ``graph``.
+
+    ``cache`` (the pipeline's attached plan cache, if any) lets
+    ``"auto"`` consult structural hit statistics: a query a little
+    above ``exact_threshold`` whose structure bucket is already hot is
+    worth exact enumeration, because the result will be replayed for
+    its isomorphic repeats (see :func:`repro.registry.select_auto`).
+    """
     if config.algorithm == "auto":
         return select_auto(
-            graph, config.exact_threshold, from_tree=from_tree
+            graph, config.exact_threshold, from_tree=from_tree,
+            cache=cache,
         )
     info = get_algorithm(config.algorithm)
     check_capabilities(info, graph, from_tree=from_tree)
@@ -645,6 +658,13 @@ class OptimizerConfig:
         cache_autosave: autosave the cache to ``cache_path`` at the
             end of each ``optimize_many`` batch (default on; explicit
             :meth:`Optimizer.save_cache` always works).
+        cache_namespace: optional label folded into every cache key.
+            Optimizers (or serving clients — see ``docs/serving.md``)
+            with different namespaces never serve each other's entries
+            even inside one shared :class:`PlanCache`; ``None`` (the
+            default) is the shared global namespace and keeps keys
+            bit-identical to earlier releases, so persisted caches
+            stay loadable.
         parallel_workers: default worker count for
             :meth:`Optimizer.optimize_many` (``None``/``1`` = serial
             for the thread executor, all CPUs for the process
@@ -673,6 +693,7 @@ class OptimizerConfig:
     cache_size: int = DEFAULT_CAPACITY
     cache_path: Optional[str] = None
     cache_autosave: bool = True
+    cache_namespace: Optional[str] = None
     parallel_workers: Optional[int] = None
     executor: str = "thread"
     pipeline: PipelineStages = DEFAULT_PIPELINE
@@ -713,6 +734,13 @@ class OptimizerConfig:
             raise ValueError("default_cardinality must be positive")
         if self.cache not in ("auto", "on", "off"):
             raise ValueError("cache must be 'auto', 'on', or 'off'")
+        if self.cache_namespace is not None and (
+            not isinstance(self.cache_namespace, str)
+            or not self.cache_namespace
+        ):
+            raise ValueError(
+                "cache_namespace must be None or a non-empty string"
+            )
         if self.cache_size < 1:
             raise ValueError("cache_size must be at least 1")
         if self.parallel_workers is not None and self.parallel_workers < 1:
@@ -735,7 +763,11 @@ class OptimizerConfig:
         correctness-neutral DPhyp knobs, and the cache/persistence/
         executor/pipeline plumbing itself — so configs differing only
         in plumbing share entries (and a persisted cache file is
-        readable regardless of executor or autosave settings).  Custom pipeline stages that change
+        readable regardless of executor or autosave settings).  One
+        deliberate exception to the plan-semantics rule:
+        ``cache_namespace`` participates although it never changes the
+        plan, because its whole job is key-space isolation between
+        tenants of a shared cache.  Custom pipeline stages that change
         planning semantics must therefore use a dedicated cache (or
         ``cache="off"``).
         """
@@ -747,6 +779,11 @@ class OptimizerConfig:
         key = (self.algorithm, self.mode, cost)
         if self.algorithm == "auto":
             key += (self.exact_threshold,)
+        if self.cache_namespace is not None:
+            # appended only when set: the default (None) keeps keys
+            # bit-identical to pre-namespace releases, so persisted
+            # caches written by them stay servable
+            key += (("namespace", self.cache_namespace),)
         return key
 
 
@@ -938,10 +975,14 @@ class Optimizer:
                 "OptimizerConfig(cache_path=...)"
             )
         cache = self.plan_cache
-        marker = (id(cache), cache.mutations)
-        written = persist.save(cache, path)
+        # dump_document snapshots entries and the mutations counter
+        # under one lock acquisition, so the marker is exactly the
+        # content state written — a store() racing this save bumps
+        # mutations past the marker and the next autosave catches it
+        document = persist.dump_document(cache)
+        written = persist.save_document(document, path)
         if path == self.config.cache_path:
-            self._autosave_marker = marker
+            self._autosave_marker = (id(cache), document["mutations"])
         return written
 
     def _autosave(self, cache: Optional[PlanCache]) -> None:
@@ -951,6 +992,15 @@ class Optimizer:
         the last save — a fully-warm serving loop does pure lookups,
         which never bump ``PlanCache.mutations``, so steady state pays
         no serialization or disk I/O.
+
+        Change detection and snapshotting are both atomic:
+        :meth:`~repro.cache.plan_cache.PlanCache.sync_since` answers
+        "anything new since the marker?" under the cache lock (so a
+        concurrent ``store()`` or ``bump_epoch()`` is either fully
+        before the answer or caught by the next batch), and the saved
+        document carries the ``mutations`` stamp of exactly the entry
+        set it contains — the marker can never claim a state newer
+        than what reached disk.
         """
         if (
             cache is None
@@ -958,12 +1008,17 @@ class Optimizer:
             or not self.config.cache_autosave
         ):
             return
-        marker = (id(cache), cache.mutations)
-        if marker == self._autosave_marker:
+        marker = self._autosave_marker
+        if (
+            marker is not None
+            and marker[0] == id(cache)
+            and cache.sync_since(marker[1]).empty
+        ):
             return
         try:
-            persist.save(cache, self.config.cache_path)
-            self._autosave_marker = marker
+            document = persist.dump_document(cache)
+            persist.save_document(document, self.config.cache_path)
+            self._autosave_marker = (id(cache), document["mutations"])
         except OSError as exc:
             warnings.warn(
                 f"plan-cache autosave to "

@@ -24,7 +24,10 @@ import types
 import weakref
 from collections.abc import Mapping
 from dataclasses import dataclass
-from typing import Callable, Iterator, Optional
+from typing import TYPE_CHECKING, Callable, Iterator, Optional
+
+if TYPE_CHECKING:  # import cycle: repro.cache hosts the PlanCache
+    from .cache.plan_cache import PlanCache
 
 from .core.dpccp import solve_dpccp
 from .core.dphyp import solve_dphyp
@@ -385,10 +388,18 @@ def check_capabilities(
         )
 
 
+#: how far above ``exact_threshold`` the hot-structure heuristic may
+#: stretch exact enumeration (relations); small on purpose — DP cost
+#: grows exponentially, so each extra relation must be well justified
+HOT_STRUCTURE_MARGIN = 2
+
+
 def select_auto(
     graph: Hypergraph,
     exact_threshold: int,
     from_tree: bool = False,
+    cache: "Optional[PlanCache]" = None,
+    hot_structure_margin: int = HOT_STRUCTURE_MARGIN,
 ) -> AlgorithmInfo:
     """Pick an algorithm for ``graph`` from the registry metadata.
 
@@ -400,9 +411,29 @@ def select_auto(
     * a solver's own ``recommended_max_n`` ceiling is honoured;
     * among the survivors the highest ``auto_priority`` wins, so DPccp
       takes small simple graphs and DPhyp everything else exact.
+
+    One cache-aware refinement: when a ``cache`` is attached and the
+    query sits *just above* the threshold (within
+    ``hot_structure_margin`` relations), a fresh entry in the query's
+    structural bucket (:meth:`~repro.cache.plan_cache.PlanCache.
+    structure_hot`) promotes it back to exact enumeration.  A hot
+    bucket means this query shape is being served repeatedly, so the
+    one-time enumeration cost is amortized across the isomorphic
+    repeats the cache will replay — exactly the workloads where greedy
+    plan-quality loss would otherwise be paid over and over.  The
+    resolved registration is part of every cache key, so promoted
+    (exact) and unpromoted (greedy) results never serve each other.
     """
     n = graph.n_nodes
     has_complex = not graph.is_simple
+    if (
+        cache is not None
+        and exact_threshold < n <= exact_threshold + hot_structure_margin
+    ):
+        from .cache.keys import structure_bucket  # local: import cycle
+
+        if cache.structure_hot(structure_bucket(graph)):
+            exact_threshold = n
     best: Optional[AlgorithmInfo] = None
     fallback: Optional[AlgorithmInfo] = None
     for info in _REGISTRY.values():

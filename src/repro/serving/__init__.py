@@ -1,0 +1,47 @@
+"""The plan-serving daemon: a resident optimizer behind a socket.
+
+``optimize_many(executor="process")`` builds and tears down a worker
+pool per batch and re-warms every cold worker with a full cache
+snapshot.  This package is the long-lived alternative:
+
+* :class:`~repro.serving.server.PlanServer` — asyncio front end plus a
+  **persistent** ``ProcessPoolExecutor`` shared across requests, with
+  admission control and graceful, autosaving shutdown;
+* incremental worker warming — workers receive
+  :meth:`~repro.cache.plan_cache.PlanCache.sync_since` deltas (only
+  the entries added since their last sync) instead of full snapshots
+  (:mod:`repro.serving.sync`);
+* :class:`~repro.serving.client.PlanClient` — blocking client over the
+  length-prefixed JSON protocol (:mod:`repro.serving.protocol`), with
+  per-client cache namespaces;
+* :class:`~repro.serving.runner.BackgroundServer` — in-process harness
+  for tests, benches, and doc snippets;
+* ``python -m repro.serving`` — the standalone daemon.
+
+See ``docs/serving.md`` for the protocol and the delta-warming design.
+"""
+
+from .client import PlanClient, ServerError
+from .protocol import (
+    MAX_FRAME_BYTES,
+    FrameTooLargeError,
+    ProtocolError,
+    spec_to_wire,
+    wire_to_spec,
+)
+from .runner import BackgroundServer
+from .server import PlanServer
+from .sync import DeltaTracker
+
+__all__ = [
+    "PlanClient",
+    "ServerError",
+    "MAX_FRAME_BYTES",
+    "FrameTooLargeError",
+    "ProtocolError",
+    "spec_to_wire",
+    "wire_to_spec",
+    "BackgroundServer",
+    "PlanServer",
+    "DeltaTracker",
+]

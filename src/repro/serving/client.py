@@ -1,0 +1,115 @@
+"""Synchronous client for the plan-serving daemon.
+
+A :class:`PlanClient` is one TCP connection speaking the
+length-prefixed JSON protocol.  It is deliberately *blocking* —
+callers that want concurrency run one client per thread (the bench's
+N concurrent clients) or per process; the server end is async and
+multiplexes them all.
+
+Namespacing: a client constructed with ``namespace="tenant-a"`` tags
+every optimize request, so its entries are keyed apart from other
+namespaces inside the server's shared cache (see
+``OptimizerConfig.cache_namespace``).
+
+Not thread-safe: one :class:`PlanClient` per thread.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Optional
+
+from .protocol import recv_frame, send_frame, spec_to_wire
+
+
+class ServerError(RuntimeError):
+    """The server answered ``ok: false``; carries the error code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+class PlanClient:
+    """Blocking connection to a :class:`~repro.serving.server.PlanServer`.
+
+    Usable as a context manager::
+
+        with PlanClient(("127.0.0.1", 7411)) as client:
+            answer = client.optimize(spec)
+    """
+
+    def __init__(
+        self,
+        address: "tuple[str, int]",
+        namespace: Optional[str] = None,
+        timeout: Optional[float] = 30.0,
+    ) -> None:
+        self.address = (address[0], int(address[1]))
+        self.namespace = namespace
+        self._sock = socket.create_connection(self.address, timeout=timeout)
+
+    def __enter__(self) -> "PlanClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def request(self, message: "dict[str, Any]") -> "dict[str, Any]":
+        """Send one raw request frame and return the raw response.
+
+        Raises :class:`ServerError` on ``ok: false`` responses and
+        :class:`~repro.serving.protocol.ProtocolError` on transport
+        trouble.
+        """
+        send_frame(self._sock, message)
+        response = recv_frame(self._sock)
+        if not response.get("ok"):
+            raise ServerError(
+                str(response.get("error", "unknown")),
+                str(response.get("message", "")),
+            )
+        return response
+
+    # -- op conveniences --------------------------------------------------
+
+    def hello(self) -> "dict[str, Any]":
+        return self.request({"op": "hello"})
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"})["ok"])
+
+    def optimize(self, query: Any) -> "dict[str, Any]":
+        """Optimize one query; returns the server's result summary.
+
+        ``query`` is a :class:`~repro.optimizer.QuerySpec`, anything
+        with a ``to_wire``-compatible shape via
+        :meth:`~repro.optimizer.QuerySpec.from_hypergraph`, or an
+        already-wire-form dict.
+        """
+        payload = query if isinstance(query, dict) else spec_to_wire(query)
+        message: "dict[str, Any]" = {"op": "optimize", "query": payload}
+        if self.namespace is not None:
+            message["namespace"] = self.namespace
+        return self.request(message)
+
+    def stats(self) -> "dict[str, Any]":
+        return self.request({"op": "stats"})
+
+    def save(self) -> Optional[int]:
+        entries = self.request({"op": "save"})["entries"]
+        return None if entries is None else int(entries)
+
+    def bump_epoch(self) -> int:
+        return int(self.request({"op": "bump-epoch"})["epoch"])
+
+    def shutdown(self, drain_timeout: float = 10.0) -> "dict[str, Any]":
+        return self.request(
+            {"op": "shutdown", "drain_timeout": drain_timeout}
+        )

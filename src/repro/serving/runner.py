@@ -1,0 +1,94 @@
+"""In-process daemon harness: a PlanServer on a background thread.
+
+Tests, the bench, CI smoke, and doc snippets all need "a running
+daemon" without shelling out to ``python -m repro.serving``.
+:class:`BackgroundServer` runs the server's event loop in a daemon
+thread and hands back the bound address::
+
+    with BackgroundServer(config) as daemon:
+        with PlanClient(daemon.address) as client:
+            client.optimize(spec)
+
+Exit performs the same graceful shutdown the ``shutdown`` op does
+(drain, autosave, pool teardown).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Optional
+
+from ..optimizer import OptimizerConfig
+from .server import PlanServer
+
+
+class BackgroundServer:
+    """Run a :class:`~repro.serving.server.PlanServer` on its own thread."""
+
+    def __init__(
+        self,
+        config: Optional[OptimizerConfig] = None,
+        start_timeout: float = 30.0,
+        **server_kwargs: Any,
+    ) -> None:
+        self._loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._start_error: Optional[BaseException] = None
+        self._start_timeout = start_timeout
+        self.server = PlanServer(config, **server_kwargs)
+        self._thread = threading.Thread(
+            target=self._run, name="plan-server", daemon=True
+        )
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self._serve())
+        finally:
+            self._loop.close()
+
+    async def _serve(self) -> None:
+        try:
+            await self.server.start()
+        except BaseException as exc:
+            self._start_error = exc
+            self._started.set()
+            raise
+        self._started.set()
+        await self.server.serve_forever()
+
+    @property
+    def address(self) -> "tuple[str, int]":
+        return self.server.address
+
+    def start(self) -> "BackgroundServer":
+        self._thread.start()
+        if not self._started.wait(self._start_timeout):
+            raise RuntimeError("plan server did not start in time")
+        if self._start_error is not None:
+            raise RuntimeError(
+                f"plan server failed to start: {self._start_error}"
+            )
+        return self
+
+    def stop(self, drain_timeout: float = 10.0) -> None:
+        """Graceful shutdown; safe to call twice."""
+        if not self._thread.is_alive():
+            return
+        try:
+            future = asyncio.run_coroutine_threadsafe(
+                self.server.shutdown(drain_timeout=drain_timeout), self._loop
+            )
+            future.result(timeout=drain_timeout + 5.0)
+        except Exception:
+            # a client-initiated shutdown may already be closing the
+            # loop; the thread join below is the real teardown barrier
+            pass
+        self._thread.join(timeout=drain_timeout + 5.0)
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

@@ -1,0 +1,556 @@
+"""The plan-serving daemon: asyncio front end + persistent worker pool.
+
+One :class:`PlanServer` owns
+
+* a single shared :class:`~repro.cache.plan_cache.PlanCache` (loaded
+  from ``OptimizerConfig.cache_path`` when configured, saved back on
+  shutdown and on the ``save`` op),
+* a **persistent** ``ProcessPoolExecutor`` reused across requests —
+  the whole point of the daemon: ``optimize_many(executor="process")``
+  pays pool spawn plus a full snapshot warm-up per batch, a resident
+  pool pays it once and stays warm via
+  :meth:`~repro.cache.plan_cache.PlanCache.sync_since` deltas
+  (:mod:`repro.serving.sync`),
+* an asyncio TCP front end on localhost speaking the length-prefixed
+  JSON protocol of :mod:`repro.serving.protocol`.
+
+Request lifecycle for ``optimize``: admission control (bounded
+in-flight + bounded queue, explicit ``overloaded`` rejection), then a
+parent-side cache probe — hits are replayed in the event loop without
+touching the pool — and only actual misses ship to a worker, carrying
+the current cache delta.  The worker's identity-space recipe is
+absorbed into the shared cache by the parent, exactly like the batch
+backend, so the cache evolves deterministically.
+
+Concurrency discipline: the event loop is single-threaded, but
+handlers interleave at every ``await``, so all shared state lives
+behind ``self._lock`` (an ``asyncio.Lock``) — enforced by the same
+``lock-discipline`` analysis gate that guards ``PlanCache``, which
+checks ``async`` methods and ``async with`` blocks too.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import replace
+from typing import Any, Optional
+
+from ..cache import persist
+from ..cache.plan_cache import PlanCache
+from ..optimizer import OptimizationResult, Optimizer, OptimizerConfig
+from ..registry import snapshot_registrations
+from .protocol import (
+    FrameTooLargeError,
+    ProtocolError,
+    encode_frame,
+    read_frame,
+    wire_to_spec,
+)
+from .sync import DeltaTracker
+from .worker import serving_worker_init, serving_worker_kill, serving_worker_run
+
+#: protocol revision announced by the ``hello`` op
+PROTOCOL_VERSION = 1
+
+#: default admission bounds: generous enough for a local bench, small
+#: enough that a runaway client sees explicit rejections, not latency
+DEFAULT_MAX_IN_FLIGHT = 8
+DEFAULT_QUEUE_LIMIT = 32
+
+
+def _error(code: str, message: str) -> "dict[str, Any]":
+    return {"ok": False, "error": code, "message": message}
+
+
+class PlanServer:
+    """The resident optimizer daemon (see module docstring).
+
+    Args:
+        config: base :class:`~repro.optimizer.OptimizerConfig` for
+            every request; per-client ``cache_namespace`` is layered on
+            top per request.  Must be picklable (it is shipped to pool
+            workers), like the batch process backend requires.
+        host / port: listen address; port ``0`` (default) lets the OS
+            pick — read :attr:`address` after :meth:`start`.
+        workers: pool size (default 1 — enumeration is CPU-bound, so
+            match physical cores, not requests).
+        max_in_flight: optimize requests executing concurrently.
+        queue_limit: optimize requests allowed to wait for a slot;
+            beyond it requests are rejected with ``overloaded``.
+        debug_ops: enable the ``debug-sleep`` / ``debug-kill-worker``
+            ops the failure-path tests use; never enable in real
+            serving.
+    """
+
+    def __init__(
+        self,
+        config: Optional[OptimizerConfig] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 1,
+        max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        debug_ops: bool = False,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be at least 1")
+        if queue_limit < 0:
+            raise ValueError("queue_limit must be >= 0")
+        if config is None:
+            config = OptimizerConfig()
+        self.config = config
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.max_in_flight = max_in_flight
+        self.queue_limit = queue_limit
+        self.debug_ops = debug_ops
+        if config.cache_path is not None:
+            self.cache = persist.load(
+                config.cache_path, capacity=config.cache_size
+            )
+        else:
+            self.cache = PlanCache(config.cache_size)
+        #: mutation stamp of the last state written to cache_path; the
+        #: just-loaded content IS the file content
+        self._saved_mutations = self.cache.mutations
+        self._tracker = DeltaTracker(expected_workers=workers)
+        self._lock = asyncio.Lock()
+        self._optimizers: "dict[Optional[str], Optimizer]" = {}
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._slots = asyncio.Semaphore(max_in_flight)
+        self._connections: "dict[asyncio.StreamWriter, asyncio.Task]" = {}
+        self._stop_event = asyncio.Event()
+        self._closing = False
+        self._active = 0
+        self._waiting = 0
+        self._counters: "dict[str, int]" = {
+            "requests": 0,
+            "served_parent": 0,
+            "served_pool": 0,
+            "rejected": 0,
+            "protocol_errors": 0,
+            "client_disconnects": 0,
+            "pool_rebuilds": 0,
+            "internal_errors": 0,
+        }
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def address(self) -> "tuple[str, int]":
+        """``(host, port)`` actually bound (valid after :meth:`start`)."""
+        return self.host, self.port
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=serving_worker_init,
+            initargs=(self.config, snapshot_registrations()),
+        )
+
+    async def start(self) -> None:
+        """Bind the listener and build the worker pool."""
+        pool = self._make_pool()
+        server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        bound_port = server.sockets[0].getsockname()[1]
+        async with self._lock:
+            self._pool = pool
+            self._server = server
+            self.port = bound_port
+
+    async def serve_forever(self) -> None:
+        """Block until a ``shutdown`` op (or :meth:`shutdown`) fires."""
+        await self._stop_event.wait()
+
+    async def shutdown(
+        self,
+        drain_timeout: float = 10.0,
+        exclude: "Optional[asyncio.StreamWriter]" = None,
+    ) -> "dict[str, Any]":
+        """Graceful stop: drain, autosave, tear the pool down.
+
+        New optimize requests are rejected with ``shutting-down`` the
+        moment this is called; already-admitted and queued requests
+        get up to ``drain_timeout`` seconds to finish.  The cache is
+        saved to ``cache_path`` (when configured) *after* the drain,
+        so plans computed by pending requests reach disk.
+
+        ``exclude`` is the connection the ``shutdown`` op arrived on,
+        which must stay open until its response is written; every
+        other connection is closed here so idle readers unblock and
+        their handler tasks finish before the loop stops.
+        """
+        async with self._lock:
+            if self._closing:
+                return {"ok": True, "already": True}
+            self._closing = True
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + drain_timeout
+        drained = False
+        while loop.time() < deadline:
+            async with self._lock:
+                if self._active == 0 and self._waiting == 0:
+                    drained = True
+                    break
+            await asyncio.sleep(0.02)
+        saved = await self._save()
+        async with self._lock:
+            pool = self._pool
+            server = self._server
+            self._pool = None
+            self._server = None
+            doomed = {
+                writer: task
+                for writer, task in self._connections.items()
+                if writer is not exclude
+            }
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        for writer in doomed:
+            writer.close()
+        tasks = [task for task in doomed.values() if not task.done()]
+        if tasks:
+            await asyncio.wait(tasks, timeout=2.0)
+        self._stop_event.set()
+        return {"ok": True, "drained": drained, "saved": saved}
+
+    async def _save(self) -> Optional[int]:
+        """Persist the shared cache to ``cache_path``, if configured.
+
+        Skips the write when nothing changed since the last save —
+        the same :meth:`~repro.cache.plan_cache.PlanCache.sync_since`
+        change detection the batch autosave uses.
+        """
+        path = self.config.cache_path
+        if path is None:
+            return None
+        async with self._lock:
+            if self.cache.sync_since(self._saved_mutations).empty:
+                return 0
+            document = persist.dump_document(self.cache)
+            written = persist.save_document(document, path)
+            self._saved_mutations = document["mutations"]
+            return written
+
+    # -- connection handling ---------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        async with self._lock:
+            self._connections[writer] = task  # type: ignore[assignment]
+        try:
+            while True:
+                try:
+                    request = await read_frame(reader)
+                except FrameTooLargeError as exc:
+                    # the stream cannot be resynchronized: best-effort
+                    # error response, then drop the connection
+                    async with self._lock:
+                        self._counters["protocol_errors"] += 1
+                    writer.write(encode_frame(
+                        _error("frame-too-large", str(exc))
+                    ))
+                    await writer.drain()
+                    break
+                except ProtocolError as exc:
+                    async with self._lock:
+                        self._counters["protocol_errors"] += 1
+                    writer.write(encode_frame(
+                        _error("protocol-error", str(exc))
+                    ))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break  # peer hung up cleanly
+                response = await self._dispatch(request, writer)
+                writer.write(encode_frame(response))
+                await writer.drain()
+                if request.get("op") == "shutdown":
+                    break
+        except (ConnectionError, TimeoutError, OSError):
+            # client went away mid-request or mid-response; the shared
+            # cache is untouched by connection state, nothing to undo
+            async with self._lock:
+                self._counters["client_disconnects"] += 1
+        finally:
+            async with self._lock:
+                self._connections.pop(writer, None)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(
+        self,
+        request: "dict[str, Any]",
+        writer: "Optional[asyncio.StreamWriter]" = None,
+    ) -> "dict[str, Any]":
+        op = request.get("op")
+        if not isinstance(op, str):
+            return _error("bad-request", "request has no 'op' string")
+        async with self._lock:
+            self._counters["requests"] += 1
+        try:
+            if op == "optimize":
+                return await self._op_optimize(request)
+            if op == "ping":
+                return {"ok": True}
+            if op == "hello":
+                return self._op_hello()
+            if op == "stats":
+                return await self._op_stats()
+            if op == "save":
+                written = await self._save()
+                return {"ok": True, "entries": written}
+            if op == "bump-epoch":
+                return {"ok": True, "epoch": self.cache.bump_epoch()}
+            if op == "shutdown":
+                return await self.shutdown(
+                    drain_timeout=float(request.get("drain_timeout", 10.0)),
+                    exclude=writer,
+                )
+            if op == "debug-sleep" and self.debug_ops:
+                return await self._op_debug_sleep(request)
+            if op == "debug-kill-worker" and self.debug_ops:
+                return await self._op_debug_kill_worker()
+            return _error("unknown-op", f"unknown op {op!r}")
+        except Exception as exc:  # a handler bug must not kill the loop
+            async with self._lock:
+                self._counters["internal_errors"] += 1
+            return _error("internal", f"{type(exc).__name__}: {exc}")
+
+    # -- ops --------------------------------------------------------------
+
+    def _op_hello(self) -> "dict[str, Any]":
+        return {
+            "ok": True,
+            "protocol": PROTOCOL_VERSION,
+            "workers": self.workers,
+            "max_in_flight": self.max_in_flight,
+            "queue_limit": self.queue_limit,
+        }
+
+    async def _op_stats(self) -> "dict[str, Any]":
+        async with self._lock:
+            server = dict(self._counters)
+            server["in_flight"] = self._active
+            server["queued"] = self._waiting
+            server["closing"] = self._closing
+            server["namespaces"] = len(self._optimizers)
+        return {
+            "ok": True,
+            "server": server,
+            "cache": self.cache.counters(),
+            "sync": self._tracker.counters(),
+        }
+
+    async def _op_debug_sleep(
+        self, request: "dict[str, Any]"
+    ) -> "dict[str, Any]":
+        """Hold an admission slot for N seconds (failure-path tests)."""
+        rejection = await self._admit()
+        if rejection is not None:
+            return rejection
+        try:
+            await asyncio.sleep(float(request.get("seconds", 0.1)))
+            return {"ok": True}
+        finally:
+            await self._release()
+
+    async def _op_debug_kill_worker(self) -> "dict[str, Any]":
+        """Abruptly kill one pool worker (failure-path tests)."""
+        loop = asyncio.get_running_loop()
+        async with self._lock:
+            pool = self._pool
+        if pool is None:
+            return _error("shutting-down", "no pool")
+        try:
+            await loop.run_in_executor(pool, serving_worker_kill)
+        except BrokenProcessPool:
+            pass
+        return {"ok": True}
+
+    async def _op_optimize(self, request: "dict[str, Any]") -> "dict[str, Any]":
+        namespace = request.get("namespace")
+        if namespace is not None and (
+            not isinstance(namespace, str) or not namespace
+        ):
+            return _error(
+                "bad-request", "namespace must be a non-empty string"
+            )
+        try:
+            spec = wire_to_spec(request.get("query"))
+        except ProtocolError as exc:
+            return _error("bad-request", str(exc))
+        rejection = await self._admit()
+        if rejection is not None:
+            return rejection
+        try:
+            return await self._optimize_admitted(spec, namespace)
+        except ValueError as exc:
+            # planning-level rejection (e.g. disconnected graph under
+            # the "raise" policy): the client's fault, not the server's
+            return _error("bad-request", str(exc))
+        finally:
+            await self._release()
+
+    async def _optimize_admitted(
+        self, spec: Any, namespace: Optional[str]
+    ) -> "dict[str, Any]":
+        optimizer = await self._optimizer_for(namespace)
+        ctx, served = optimizer._probe_for_process_batch(spec, self.cache)
+        if served is not None:
+            async with self._lock:
+                self._counters["served_parent"] += 1
+            return self._result_response(served, via="parent")
+        payload = await self._run_in_pool(ctx)
+        if payload is None:
+            return _error(
+                "worker-failed",
+                "the worker pool died twice on this request",
+            )
+        self._tracker.record(payload["pid"], payload["synced_to"])
+        result = optimizer._absorb_recipe(ctx, payload)
+        async with self._lock:
+            self._counters["served_pool"] += 1
+        return self._result_response(result, via="pool")
+
+    async def _run_in_pool(
+        self, ctx: Any
+    ) -> "Optional[dict[str, Any]]":
+        """Ship one prepared miss to the pool; rebuild-and-retry once.
+
+        The task carries the cache delta above the pool's sync floor;
+        a ``BrokenProcessPool`` (worker killed mid-request) rebuilds
+        the pool — cold workers, tracker reset — and retries exactly
+        once.
+        """
+        loop = asyncio.get_running_loop()
+        for attempt in (0, 1):
+            async with self._lock:
+                pool = self._pool
+            if pool is None:
+                return None
+            delta = self.cache.sync_since(self._tracker.floor())
+            self._tracker.note_shipment(delta)
+            task = {
+                "query": request_wire(ctx),
+                "namespace": ctx.config.cache_namespace,
+                "delta": {
+                    "since": delta.since,
+                    "now": delta.now,
+                    "epoch": delta.epoch,
+                    "entries": delta.entries,
+                },
+            }
+            try:
+                return await loop.run_in_executor(
+                    pool, serving_worker_run, task
+                )
+            except BrokenProcessPool:
+                async with self._lock:
+                    broken, self._pool = self._pool, None
+                if broken is not None:
+                    broken.shutdown(wait=False)
+                if attempt == 1:
+                    return None
+                fresh = self._make_pool()
+                self._tracker.reset()
+                async with self._lock:
+                    self._pool = fresh
+                    self._counters["pool_rebuilds"] += 1
+        return None
+
+    def _result_response(
+        self, result: OptimizationResult, via: str
+    ) -> "dict[str, Any]":
+        plannable = result.plan is not None
+        extra = result.stats.extra.get("plan_cache", {})
+        return {
+            "ok": True,
+            "via": via,
+            "algorithm": result.algorithm,
+            "plannable": plannable,
+            "cost": result.plan.cost if plannable else None,
+            "cardinality": result.plan.cardinality if plannable else None,
+            "cache_event": extra.get("event"),
+        }
+
+    # -- shared-state helpers ---------------------------------------------
+
+    async def _optimizer_for(self, namespace: Optional[str]) -> Optimizer:
+        """Per-namespace Optimizer, all sharing the one server cache."""
+        async with self._lock:
+            optimizer = self._optimizers.get(namespace)
+            if optimizer is None:
+                config = replace(
+                    self.config,
+                    cache="on",
+                    cache_path=None,       # the server owns persistence
+                    cache_autosave=False,
+                )
+                if namespace is not None:
+                    config = replace(config, cache_namespace=namespace)
+                optimizer = Optimizer(config, plan_cache=self.cache)
+                self._optimizers[namespace] = optimizer
+            return optimizer
+
+    async def _admit(self) -> "Optional[dict[str, Any]]":
+        """Take an execution slot; ``None`` means admitted.
+
+        Explicit rejection, never silent unbounded queueing: at most
+        ``max_in_flight`` requests execute and ``queue_limit`` wait.
+        """
+        async with self._lock:
+            if self._closing:
+                return _error(
+                    "shutting-down", "the server is draining; reconnect later"
+                )
+            if (
+                self._active >= self.max_in_flight
+                and self._waiting >= self.queue_limit
+            ):
+                self._counters["rejected"] += 1
+                return _error(
+                    "overloaded",
+                    f"{self._active} in flight and {self._waiting} queued; "
+                    "retry with backoff",
+                )
+            self._waiting += 1
+        await self._slots.acquire()
+        async with self._lock:
+            self._waiting -= 1
+            self._active += 1
+        return None
+
+    async def _release(self) -> None:
+        async with self._lock:
+            self._active -= 1
+        self._slots.release()
+
+
+def request_wire(ctx: Any) -> "dict[str, Any]":
+    """Wire form of the query held by a prepared pipeline context.
+
+    The context's original query is a ``QuerySpec`` (the server parses
+    every request into one), so this is just ``spec_to_wire`` — kept
+    as a function so the worker task stays plain JSON-shaped data plus
+    recipe tuples.
+    """
+    from .protocol import spec_to_wire
+
+    return spec_to_wire(ctx.query)

@@ -1,0 +1,111 @@
+"""Delta bookkeeping between the parent cache and pool workers.
+
+The daemon's worker processes each hold a process-local
+:class:`~repro.cache.plan_cache.PlanCache` warmed from the parent's.
+Re-warming with a full ``dump_document`` snapshot on every request
+would ship the whole cache over and over; instead the parent asks
+:meth:`~repro.cache.plan_cache.PlanCache.sync_since` for the entries
+written since the workers' sync **floor** and ships only those (the
+incremental-maintenance stance of Berkholz et al.: propagate deltas to
+a live structure instead of rebuilding it).
+
+The catch: the parent cannot choose which pool worker picks up a
+task, so the floor must be safe for *every* worker.  The
+:class:`DeltaTracker` learns each worker's synced-to cursor from its
+responses (workers self-identify by pid) and uses
+
+* ``0`` — i.e. "ship everything" — until every expected worker has
+  reported at least once (a worker never seen may be completely cold);
+* the **minimum** reported cursor afterwards.
+
+Over-shipping is always safe: workers filter the delta by their own
+cursor before absorbing, so an entry shipped twice is applied once.
+The tracker also owns the shipping counters (``snapshot_bytes`` /
+``delta_entries`` / ``full_syncs`` / ``delta_syncs``) that the bench
+uses to prove deltas stay small — bytes are measured as
+``len(repr(entries))``, the same textual form the persistence layer
+commits to disk, so the number is start-method- and pickle-free.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from ..cache.plan_cache import CacheDelta
+
+
+class DeltaTracker:
+    """Thread-safe sync floors + shipping counters for one worker pool.
+
+    Created per pool lifetime: a pool rebuild (after a worker crash)
+    must :meth:`reset` the tracker, because fresh workers are cold and
+    the floor must drop back to "ship everything".
+    """
+
+    def __init__(self, expected_workers: int) -> None:
+        if expected_workers < 1:
+            raise ValueError("expected_workers must be at least 1")
+        self.expected_workers = expected_workers
+        self._lock = threading.Lock()
+        self._cursors: "dict[int, int]" = {}
+        # shipping counters (read without the lock, like PlanCache's)
+        self.full_syncs = 0
+        self.delta_syncs = 0
+        self.delta_entries = 0
+        self.snapshot_bytes = 0
+
+    def floor(self) -> int:
+        """Mutation cursor every live worker is guaranteed to have.
+
+        ``0`` (full warm-up) until all ``expected_workers`` distinct
+        pids have reported; afterwards the minimum reported cursor.
+        """
+        with self._lock:
+            if len(self._cursors) < self.expected_workers:
+                return 0
+            return min(self._cursors.values())
+
+    def record(self, pid: int, synced_to: int) -> None:
+        """Adopt a worker's self-reported cursor (monotone per pid)."""
+        with self._lock:
+            if synced_to > self._cursors.get(pid, -1):
+                self._cursors[pid] = synced_to
+
+    def note_shipment(self, delta: CacheDelta) -> None:
+        """Count one delta shipped to a worker."""
+        with self._lock:
+            if delta.since == 0:
+                self.full_syncs += 1
+            else:
+                self.delta_syncs += 1
+            self.delta_entries += len(delta.entries)
+            self.snapshot_bytes += len(repr(delta.entries))
+
+    def reset(self, expected_workers: "int | None" = None) -> None:
+        """Forget every cursor (pool rebuilt: all workers are cold).
+
+        Shipping counters survive on purpose — they describe the
+        server lifetime, not one pool incarnation.
+        """
+        with self._lock:
+            self._cursors.clear()
+            if expected_workers is not None:
+                self.expected_workers = expected_workers
+
+    def counters(self) -> "dict[str, Any]":
+        """Snapshot of the shipping counters (JSON-friendly)."""
+        with self._lock:
+            return {
+                "expected_workers": self.expected_workers,
+                "workers_reporting": len(self._cursors),
+                "floor": (
+                    min(self._cursors.values())
+                    if len(self._cursors) >= self.expected_workers
+                    else 0
+                ),
+                "full_syncs": self.full_syncs,
+                "delta_syncs": self.delta_syncs,
+                "delta_entries": self.delta_entries,
+                "snapshot_bytes": self.snapshot_bytes,
+            }

@@ -2,9 +2,12 @@
 
 A class owning ``self._lock`` mutates guarded state outside the lock
 in several shapes (plain write, augmented write, container mutator,
-subscript write).  Parsed by tests, never imported.
+subscript write) — plus an asyncio counterpart whose ``async def``
+handlers write state outside ``async with self._lock``.  Parsed by
+tests, never imported.
 """
 
+import asyncio
 import threading
 
 
@@ -36,3 +39,24 @@ class RacyCache:
 
     def audited_fast_path(self) -> None:
         self.hits += 1     # repro: ignore[lock-discipline]
+
+
+class RacyServer:
+    """Async flavor: coroutine handlers interleave at await points."""
+
+    def __init__(self) -> None:
+        self._lock = asyncio.Lock()
+        self.in_flight = 0
+        self._queue: list = []
+
+    async def admit(self) -> None:
+        async with self._lock:
+            self.in_flight += 1                 # guarded: no finding
+        self.in_flight -= 1                     # VIOLATION: after release
+
+    async def enqueue(self, item: object) -> None:
+        self._queue.append(item)                # VIOLATION: mutator call
+
+    async def drain(self) -> None:
+        async with self._lock:
+            self._queue.clear()                 # guarded: no finding

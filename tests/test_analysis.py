@@ -116,15 +116,22 @@ class TestNoPickle:
         assert len(by_rule["no-builtin-hash"]) == 1  # second is suppressed
         assert report.suppressed == 1
 
-    def test_scope_is_cache_paths_only(self):
+    def test_scope_is_cache_and_serving_paths(self):
         source = "import pickle\nhash((1, 2))\n"
         checker = NoPickleChecker()
         assert check_source(source, checker, path="repro/cache/x.py")
+        assert check_source(source, checker, path="repro/serving/x.py")
         assert not check_source(source, checker, path="repro/core/x.py")
 
     def test_real_cache_package_never_pickles(self):
         report = run_analysis(
             paths=[PACKAGE_ROOT / "cache"], checkers=[NoPickleChecker()]
+        )
+        assert report.findings == []
+
+    def test_real_serving_package_never_pickles(self):
+        report = run_analysis(
+            paths=[PACKAGE_ROOT / "serving"], checkers=[NoPickleChecker()]
         )
         assert report.findings == []
 
@@ -144,6 +151,33 @@ class TestLockDiscipline:
         }
         assert lines == expected
         assert report.suppressed == 1  # the audited_fast_path waiver
+
+    def test_async_methods_are_checked(self):
+        source = (
+            "import asyncio\n"
+            "class Server:\n"
+            "    def __init__(self):\n"
+            "        self._lock = asyncio.Lock()\n"
+            "        self.pending = 0\n"
+            "    async def handle(self):\n"
+            "        self.pending += 1\n"
+        )
+        findings = check_source(source, LockDisciplineChecker())
+        assert len(findings) == 1
+        assert "Server.handle" in findings[0].message
+
+    def test_async_with_lock_guards(self):
+        source = (
+            "import asyncio\n"
+            "class Server:\n"
+            "    def __init__(self):\n"
+            "        self._lock = asyncio.Lock()\n"
+            "        self.pending = 0\n"
+            "    async def handle(self):\n"
+            "        async with self._lock:\n"
+            "            self.pending += 1\n"
+        )
+        assert check_source(source, LockDisciplineChecker()) == []
 
     def test_lockless_class_is_out_of_scope(self):
         source = (

@@ -1,0 +1,120 @@
+"""Tests for the ``python -m repro.bench serving`` benchmark."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.serving import (
+    SCHEMA_VERSION,
+    build_workload,
+    render_summary,
+    run_delta_sync_phase,
+    run_serving_phase,
+    validate_result,
+)
+
+
+class TestWorkloadShape:
+    def test_every_wave_contains_a_miss(self):
+        workload = build_workload(clients=6, requests=9)
+        for wave_index in range(9):
+            wave = [workload[c][wave_index] for c in range(6)]
+            # staggering: at least one client is on a cold slot
+            hot_names = {"hub", "c0", "r0"}
+            assert any(
+                spec.relation_names[0] not in hot_names or True
+                for spec in wave
+            )
+            cold = [
+                spec for c, spec in enumerate(wave)
+                if (wave_index + c) % 3 == 0
+            ]
+            assert cold
+
+    def test_cold_requests_are_unique(self):
+        workload = build_workload(clients=3, requests=6)
+        cold_cards = [
+            tuple(spec.cardinalities)
+            for c, sequence in enumerate(workload)
+            for i, spec in enumerate(sequence)
+            if (i + c) % 3 == 0
+        ]
+        assert len(set(cold_cards)) == len(cold_cards)
+
+
+class TestDeltaSyncPhase:
+    def test_ships_exactly_the_added_entries(self):
+        phase = run_delta_sync_phase(warm_entries=12, added_entries=7)
+        assert phase["delta_entries"] == 7
+        assert phase["full_entries"] == 19
+        assert phase["delta_bytes"] < phase["full_bytes"]
+        assert 0.0 < phase["bytes_ratio"] < 1.0
+
+
+class TestServingPhase:
+    def test_tiny_run_produces_a_valid_document(self):
+        serving = run_serving_phase(
+            clients=2, requests=3, warm_entries=5
+        )
+        assert serving["n_requests"] == 6
+        assert serving["daemon_qps"] > 0
+        assert serving["baseline_qps"] > 0
+        assert serving["p99_ms"] >= serving["p50_ms"] > 0
+        assert serving["daemon_server"]["served_pool"] >= 1
+        document = {
+            "schema_version": SCHEMA_VERSION,
+            "label": "tiny",
+            "python": "3",
+            "serving": serving,
+            "delta_sync": run_delta_sync_phase(
+                warm_entries=6, added_entries=4
+            ),
+        }
+        validate_result(document)
+        summary = render_summary(document)
+        assert "resident daemon" in summary
+        assert "delta re-sync" in summary
+
+
+class TestValidation:
+    def _minimal(self):
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "label": "",
+            "python": "3",
+            "serving": {
+                key: 1 for key in (
+                    "clients", "requests_per_client", "n_requests",
+                    "daemon_qps", "baseline_qps", "speedup", "p50_ms",
+                    "p99_ms", "daemon_sync",
+                )
+            },
+            "delta_sync": {
+                key: 1 for key in (
+                    "warm_entries", "added_entries", "delta_entries",
+                    "delta_bytes", "full_entries", "full_bytes",
+                    "bytes_ratio",
+                )
+            },
+        }
+
+    def test_minimal_document_passes(self):
+        validate_result(self._minimal())
+
+    def test_missing_top_level_key_rejected(self):
+        document = self._minimal()
+        del document["delta_sync"]
+        with pytest.raises(ValueError, match="delta_sync"):
+            validate_result(document)
+
+    def test_missing_serving_key_rejected(self):
+        document = self._minimal()
+        del document["serving"]["speedup"]
+        with pytest.raises(ValueError, match="speedup"):
+            validate_result(document)
+
+    def test_wrong_schema_version_rejected(self):
+        document = self._minimal()
+        document["schema_version"] = 999
+        with pytest.raises(ValueError, match="schema_version"):
+            validate_result(document)

@@ -80,6 +80,10 @@ def perturb(config: OptimizerConfig, name: str) -> OptimizerConfig:
         value = "on" if current == "off" else "off"
     elif name == "cache_path":
         value = "other.json" if current != "other.json" else None
+    elif name == "cache_namespace":
+        # deliberately keyed (the one plumbing-looking exception):
+        # namespaces exist to partition a shared cache
+        value = "tenant-x" if current != "tenant-x" else "tenant-y"
     elif name == "parallel_workers":
         value = 3 if current != 3 else None
     elif name == "executor":

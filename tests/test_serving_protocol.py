@@ -1,0 +1,170 @@
+"""Tests for the serving wire protocol: framing and query wire form."""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+
+import pytest
+
+from repro.optimizer import JoinSpec, QuerySpec
+from repro.serving.protocol import (
+    HEADER_BYTES,
+    MAX_FRAME_BYTES,
+    FrameTooLargeError,
+    ProtocolError,
+    decode_body,
+    encode_frame,
+    read_frame,
+    recv_frame,
+    send_frame,
+    spec_to_wire,
+    wire_to_spec,
+)
+
+
+class TestFraming:
+    def test_encode_roundtrip(self):
+        frame = encode_frame({"op": "ping", "n": 3})
+        body = frame[HEADER_BYTES:]
+        assert int.from_bytes(frame[:HEADER_BYTES], "big") == len(body)
+        assert decode_body(body) == {"op": "ping", "n": 3}
+
+    def test_encode_rejects_oversized(self):
+        with pytest.raises(FrameTooLargeError):
+            encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            decode_body(b"\xff\xfe not json")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_body(b"[1, 2, 3]")
+
+    def test_socket_roundtrip(self):
+        a, b = socket.socketpair()
+        try:
+            send_frame(a, {"op": "hello"})
+            assert recv_frame(b) == {"op": "hello"}
+        finally:
+            a.close()
+            b.close()
+
+    def test_recv_frame_truncated_body(self):
+        a, b = socket.socketpair()
+        try:
+            frame = encode_frame({"op": "hello"})
+            a.sendall(frame[:-2])
+            a.close()
+            with pytest.raises(ProtocolError, match="frame body"):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_recv_frame_oversized_header(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall((MAX_FRAME_BYTES + 1).to_bytes(HEADER_BYTES, "big"))
+            with pytest.raises(FrameTooLargeError):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestAsyncReadFrame:
+    """Server-side reader semantics, driven through a StreamReader."""
+
+    @staticmethod
+    def _read(*chunks: bytes, eof: bool = True):
+        async def go():
+            reader = asyncio.StreamReader()
+            for chunk in chunks:
+                reader.feed_data(chunk)
+            if eof:
+                reader.feed_eof()
+            return await read_frame(reader)
+
+        return asyncio.run(go())
+
+    def test_whole_frame(self):
+        assert self._read(encode_frame({"op": "x"})) == {"op": "x"}
+
+    def test_clean_eof_returns_none(self):
+        assert self._read() is None
+
+    def test_partial_header_raises(self):
+        with pytest.raises(ProtocolError, match="mid-header"):
+            self._read(b"\x00\x00")
+
+    def test_partial_body_raises(self):
+        frame = encode_frame({"op": "x"})
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            self._read(frame[:-1])
+
+    def test_oversized_declared_length(self):
+        header = (MAX_FRAME_BYTES + 1).to_bytes(HEADER_BYTES, "big")
+        with pytest.raises(FrameTooLargeError):
+            self._read(header, eof=False)
+
+
+class TestQueryWireForm:
+    def test_roundtrip_preserves_spec(self):
+        spec = QuerySpec(
+            relations=[("a", 10.0), ("b", 20.0), ("c", 30.0)],
+            joins=[
+                ("a", "b", 0.1),
+                JoinSpec.of(
+                    ("a", "b"), "c", selectivity=0.5,
+                    flex=("b",), predicate="a.x + b.y = c.z",
+                ),
+            ],
+        )
+        rebuilt = wire_to_spec(spec_to_wire(spec))
+        assert rebuilt.relation_names == spec.relation_names
+        assert rebuilt.cardinalities == spec.cardinalities
+        assert rebuilt.joins == spec.joins
+
+    def test_wire_form_is_json_safe(self):
+        import json
+
+        spec = QuerySpec(relations={"a": 1.0, "b": 2.0}, joins=[("a", "b")])
+        wire = spec_to_wire(spec)
+        assert wire_to_spec(json.loads(json.dumps(wire))).joins == spec.joins
+
+    @pytest.mark.parametrize("payload", [
+        None,
+        "not a dict",
+        {},
+        {"relations": "nope"},
+        {"relations": [["a", "not-a-number"]]},
+        {"relations": [["a", 1.0]], "joins": [{"left": ["a"]}]},
+        {"relations": [["a", 1.0], ["b", 2.0]], "joins": ["a-b"]},
+    ])
+    def test_malformed_payloads_raise(self, payload):
+        with pytest.raises(ProtocolError):
+            wire_to_spec(payload)
+
+
+def test_socketpair_concurrent_frames():
+    """Many frames survive interleaved writes (length prefix framing)."""
+    a, b = socket.socketpair()
+    received = []
+
+    def reader():
+        for _ in range(20):
+            received.append(recv_frame(b))
+
+    thread = threading.Thread(target=reader)
+    thread.start()
+    try:
+        for index in range(20):
+            send_frame(a, {"i": index, "pad": "x" * (index * 37)})
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert [frame["i"] for frame in received] == list(range(20))
+    finally:
+        a.close()
+        b.close()
