@@ -8,6 +8,7 @@ subset through :func:`repro.analysis.run_analysis`.
 from .cache_key import CacheKeyCompletenessChecker
 from .key_fingerprint import KeyFingerprintChecker
 from .lock_discipline import LockDisciplineChecker
+from .module_state import ModuleStateChecker
 from .no_pickle import NoPickleChecker
 from .registry_capability import RegistryCapabilityChecker
 
@@ -16,6 +17,7 @@ ALL_CHECKERS = (
     CacheKeyCompletenessChecker,
     NoPickleChecker,
     LockDisciplineChecker,
+    ModuleStateChecker,
     KeyFingerprintChecker,
     RegistryCapabilityChecker,
 )
@@ -25,6 +27,7 @@ __all__ = [
     "CacheKeyCompletenessChecker",
     "KeyFingerprintChecker",
     "LockDisciplineChecker",
+    "ModuleStateChecker",
     "NoPickleChecker",
     "RegistryCapabilityChecker",
 ]

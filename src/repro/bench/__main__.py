@@ -37,6 +37,10 @@ def main(argv=None) -> int:
         from .serving import main as serving_main
 
         return serving_main(argv[1:])
+    if argv and argv[0] == "profile":
+        from .profile import main as profile_main
+
+        return profile_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -58,7 +62,8 @@ def main(argv=None) -> int:
     # listed for --help only; dispatched before parsing, above
     sub.add_parser(
         "regression",
-        help="time the chain/cycle/star hot path, emit BENCH_*.json",
+        help="time the chain/cycle/star hot path (--tier kernel for "
+             "the 30-60 relation dphyp-kernel suite), emit BENCH_*.json",
     )
     sub.add_parser(
         "throughput",
@@ -69,6 +74,11 @@ def main(argv=None) -> int:
         "serving",
         help="resident plan-serving daemon vs per-batch process pools "
              "(q/s, p50/p99, delta-sync bytes), emit BENCH_*.json",
+    )
+    sub.add_parser(
+        "profile",
+        help="cProfile one optimizer run: hot functions plus "
+             "search/materialize/costing phase totals",
     )
     args = parser.parse_args(argv)
 

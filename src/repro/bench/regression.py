@@ -11,6 +11,8 @@ against the preserved seed-faithful recursive baseline
 Usage::
 
     PYTHONPATH=src python -m repro.bench regression --out BENCH_new.json
+    PYTHONPATH=src python -m repro.bench regression --tier kernel \
+        --min-speedup 2 --out BENCH_kernel.json
     PYTHONPATH=src python benchmarks/bench_regression.py --max-n 6
 
 Sizes honour the same knobs as the experiment drivers
@@ -36,6 +38,21 @@ SCHEMA_VERSION = 1
 #: algorithms timed per workload: the iterative hot path and the
 #: seed-faithful recursive baseline it must beat
 DEFAULT_ALGORITHMS = ("dphyp", "dphyp-recursive")
+
+#: the large-n tier pits the flat-array kernel against the Plan-per-
+#: candidate hot path it reimplements
+KERNEL_ALGORITHMS = ("dphyp", "dphyp-kernel")
+
+#: ``--min-speedup`` applies only to kernel-tier workloads at least
+#: this many relations wide — the kernel's constant-factor win needs
+#: room; tiny clamped CI runs should not fail the gate on noise
+KERNEL_GATE_MIN_N = 30
+
+#: per-tier (baseline, contender) pair the ``speedups`` map reports
+TIER_SPEEDUP_PAIR = {
+    "default": ("dphyp-recursive", "dphyp"),
+    "kernel": ("dphyp", "dphyp-kernel"),
+}
 
 #: top-level keys every regression document must carry
 REQUIRED_KEYS = ("schema_version", "label", "python", "workloads", "speedups")
@@ -75,16 +92,70 @@ def default_workloads(max_n: Optional[int] = None) -> list:
     ]
 
 
+def kernel_workloads(max_n: Optional[int] = None) -> list:
+    """The large-n tier where ``dphyp-kernel`` must earn its keep.
+
+    Chains and cycles run at 30–60 relations (where the
+    ``--min-speedup`` gate applies, see :data:`KERNEL_GATE_MIN_N`);
+    star and clique stay at the largest sizes a pure-Python CI run can
+    afford — their exponential/3^n csg-cmp-pair counts make 30
+    relations intractable — and contribute exact cost/ccp pinning plus
+    a dense-graph speedup data point.
+    """
+
+    def clamp(n: int, floor: int) -> int:
+        if max_n is None:
+            return n
+        return max(floor, min(n, max_n))
+
+    sizes = [
+        ("chain", generators.chain, clamp(scaled(30, 30), 2)),
+        ("chain", generators.chain, clamp(scaled(40, 40), 2)),
+        ("chain", generators.chain, clamp(scaled(60, 60), 2)),
+        ("cycle", generators.cycle, clamp(scaled(30, 30), 3)),
+        ("cycle", generators.cycle, clamp(scaled(40, 40), 3)),
+        ("star", generators.star, clamp(scaled(16, 16), 1)),
+        ("clique", generators.clique, clamp(scaled(12, 12), 2)),
+    ]
+    workloads = []
+    seen = set()
+    for shape, make, n in sizes:
+        name = f"{shape}-{n}"
+        if name in seen:  # --max-n can collapse the chain ladder
+            continue
+        seen.add(name)
+        workloads.append((name, make(n)))
+    return workloads
+
+
 def run_regression(
     max_n: Optional[int] = None,
     repeat: int = 3,
     label: str = "",
-    algorithms=DEFAULT_ALGORITHMS,
+    algorithms=None,
+    tier: str = "default",
 ) -> dict:
-    """Measure the regression suite and return the JSON document."""
+    """Measure one regression tier and return the JSON document.
+
+    ``tier="default"`` is the historical chain/cycle/star suite
+    (dphyp vs dphyp-recursive); ``tier="kernel"`` is the large-n suite
+    from :func:`kernel_workloads` (dphyp-kernel vs dphyp).  Both emit
+    the same schema; the tier is recorded in the document.
+    """
+    if tier not in TIER_SPEEDUP_PAIR:
+        raise ValueError(f"unknown tier {tier!r}")
+    if algorithms is None:
+        algorithms = (
+            KERNEL_ALGORITHMS if tier == "kernel" else DEFAULT_ALGORITHMS
+        )
+    tier_workloads = (
+        kernel_workloads(max_n) if tier == "kernel"
+        else default_workloads(max_n)
+    )
+    baseline_name, contender_name = TIER_SPEEDUP_PAIR[tier]
     workloads = []
     speedups = {}
-    for shape, query in default_workloads(max_n):
+    for shape, query in tier_workloads:
         results = {}
         for algorithm in algorithms:
             measurement = measure_algorithm(
@@ -110,12 +181,13 @@ def run_regression(
                 "results": results,
             }
         )
-        base = results.get("dphyp-recursive")
-        new = results.get("dphyp")
+        base = results.get(baseline_name)
+        new = results.get(contender_name)
         if base and new and new["ms"] > 0:
             speedups[query.description] = round(base["ms"] / new["ms"], 3)
     return {
         "schema_version": SCHEMA_VERSION,
+        "tier": tier,
         "label": label,
         "created_unix": round(time.time(), 1),
         "python": platform.python_version(),
@@ -234,19 +306,73 @@ def compare_documents(
 def _time_ratio(current: dict, baseline: dict) -> Optional[float]:
     """Slowdown factor of dphyp vs the baseline document.
 
-    Normalized by the in-document ``dphyp-recursive`` time when both
-    documents have it (so CI hardware differences cancel out); raw
-    milliseconds otherwise.
+    Normalized by another algorithm's in-document time when both
+    documents measured one (so CI hardware differences cancel out) —
+    ``dphyp-recursive`` on the default tier, ``dphyp-kernel`` on the
+    kernel tier; raw milliseconds only when no shared reference exists.
     """
     cur = current.get("dphyp")
     base = baseline.get("dphyp")
     if not cur or not base or not cur["ms"] or not base["ms"]:
         return None
-    cur_ref = current.get("dphyp-recursive")
-    base_ref = baseline.get("dphyp-recursive")
-    if cur_ref and base_ref and cur_ref["ms"] and base_ref["ms"]:
-        return (cur["ms"] / cur_ref["ms"]) / (base["ms"] / base_ref["ms"])
+    for reference in ("dphyp-recursive", "dphyp-kernel"):
+        cur_ref = current.get(reference)
+        base_ref = baseline.get(reference)
+        if cur_ref and base_ref and cur_ref["ms"] and base_ref["ms"]:
+            return (cur["ms"] / cur_ref["ms"]) / (
+                base["ms"] / base_ref["ms"]
+            )
     return cur["ms"] / base["ms"]
+
+
+def kernel_gate_problems(document: dict, min_speedup: float) -> list[str]:
+    """The ``--min-speedup`` gate for the kernel tier.
+
+    Two guards, both hardware-normalized because they compare numbers
+    measured within the *same* run:
+
+    * every workload that timed both algorithms must report exactly
+      equal ``cost`` and ``ccp`` — the kernel's whole contract is
+      bit-identical plans over an identical search space;
+    * on workloads of at least :data:`KERNEL_GATE_MIN_N` relations,
+      ``dphyp-kernel`` must beat ``dphyp`` by ``min_speedup``.
+    """
+    problems: list[str] = []
+    gated = 0
+    for entry in document["workloads"]:
+        shape = entry["workload"]
+        base = entry["results"].get("dphyp")
+        new = entry["results"].get("dphyp-kernel")
+        if not base or not new:
+            problems.append(
+                f"{shape}: gate needs both dphyp and dphyp-kernel measured"
+            )
+            continue
+        if new["cost"] != base["cost"]:
+            problems.append(
+                f"{shape}: dphyp-kernel cost {new['cost']!r} != dphyp "
+                f"{base['cost']!r} (kernel must be bit-identical)"
+            )
+        if new["ccp"] != base["ccp"]:
+            problems.append(
+                f"{shape}: dphyp-kernel ccp {new['ccp']} != dphyp "
+                f"{base['ccp']} (search space drift)"
+            )
+        if entry["n_relations"] < KERNEL_GATE_MIN_N:
+            continue
+        gated += 1
+        speedup = base["ms"] / new["ms"] if new["ms"] else float("inf")
+        if speedup < min_speedup:
+            problems.append(
+                f"{shape}: dphyp-kernel speedup {speedup:.2f}x < "
+                f"required {min_speedup}x"
+            )
+    if not gated:
+        problems.append(
+            f"no workload reached {KERNEL_GATE_MIN_N} relations — the "
+            "speedup gate checked nothing (raise --max-n)"
+        )
+    return problems
 
 
 def render_summary(document: dict) -> str:
@@ -261,8 +387,12 @@ def render_summary(document: dict) -> str:
             parts.append(f"{algorithm}={measurement['ms']:.2f}ms")
         parts.append(f"ccp={next(iter(entry['results'].values()))['ccp']}")
         lines.append("  ".join(parts))
+    speedup_label = (
+        "kernel speedup" if document.get("tier") == "kernel"
+        else "iterative speedup"
+    )
     for query, factor in document.get("speedups", {}).items():
-        lines.append(f"  {query:>12}  iterative speedup {factor:.2f}x")
+        lines.append(f"  {query:>12}  {speedup_label} {factor:.2f}x")
     return "\n".join(lines)
 
 
@@ -280,6 +410,19 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--out", help="write the JSON document to this path", default=None
+    )
+    parser.add_argument(
+        "--tier", choices=sorted(TIER_SPEEDUP_PAIR), default="default",
+        help="workload tier: 'default' (chain/cycle/star, dphyp vs "
+             "dphyp-recursive) or 'kernel' (30-60 relation large-n "
+             "suite, dphyp-kernel vs dphyp)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None, metavar="FACTOR",
+        help="kernel tier only: fail unless dphyp-kernel beats dphyp "
+             "by this factor on every workload of at least "
+             f"{KERNEL_GATE_MIN_N} relations (cost/ccp equality is "
+             "always enforced)",
     )
     parser.add_argument(
         "--max-n", type=int, default=None,
@@ -301,9 +444,12 @@ def main(argv=None) -> int:
         help="max allowed slowdown factor vs the baseline (default 1.3)",
     )
     args = parser.parse_args(argv)
+    if args.min_speedup is not None and args.tier != "kernel":
+        parser.error("--min-speedup only applies to --tier kernel")
 
     document = run_regression(
-        max_n=args.max_n, repeat=args.repeat, label=args.label
+        max_n=args.max_n, repeat=args.repeat, label=args.label,
+        tier=args.tier,
     )
     validate_result(document)
     print(render_summary(document))
@@ -312,6 +458,14 @@ def main(argv=None) -> int:
             json.dump(document, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.out}", file=sys.stderr)
+    if args.min_speedup is not None:
+        problems = kernel_gate_problems(document, args.min_speedup)
+        if problems:
+            for problem in problems:
+                print(f"GATE: {problem}", file=sys.stderr)
+            return 1
+        print(f"kernel gate passed (min speedup {args.min_speedup}x "
+              f"at n >= {KERNEL_GATE_MIN_N})")
     if args.compare:
         with open(args.compare) as handle:
             baseline = json.load(handle)

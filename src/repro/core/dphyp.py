@@ -168,8 +168,12 @@ class DPhyp:
         while remaining:  # seeds in decreasing node order, per the paper
             s2 = 1 << (remaining.bit_length() - 1)
             remaining ^= s2
-            if graph.has_connecting_edge(s1, s2):
-                emit_csg_cmp(s1, s2)
+            # One incident-list scan serves both the connectivity test
+            # and the edge conjunction EmitCsgCmp needs — non-empty iff
+            # has_connecting_edge(s1, s2).
+            edges = graph.connecting_edges(s1, s2)
+            if edges:
+                emit_csg_cmp(s1, s2, edges)
             # Forbid smaller neighbors during complement expansion so
             # each complement is reached from exactly one seed.
             self.enumerate_cmp(s1, s2, x | (neighborhood & ((s2 << 1) - 1)))
@@ -195,8 +199,12 @@ class DPhyp:
             sub = neighborhood & -neighborhood
             while sub:
                 grown = s | sub
-                if grown in table and graph.has_connecting_edge(s1, grown):
-                    emit_csg_cmp(s1, grown)
+                if grown in table:
+                    # Single scan: the edge list doubles as the
+                    # connectivity test (non-empty iff connected).
+                    edges = graph.connecting_edges(s1, grown)
+                    if edges:
+                        emit_csg_cmp(s1, grown, edges)
                 sub = (sub - neighborhood) & neighborhood
             expanded = x | neighborhood
             sub = neighborhood
@@ -204,7 +212,12 @@ class DPhyp:
                 push((s | sub, expanded))
                 sub = (sub - 1) & neighborhood
 
-    def emit_csg_cmp(self, s1: NodeSet, s2: NodeSet) -> None:
+    def emit_csg_cmp(
+        self,
+        s1: NodeSet,
+        s2: NodeSet,
+        edges: Optional[list] = None,
+    ) -> None:
         """Build plans for the csg-cmp-pair ``(S1, S2)``.
 
         The builder receives the optimal plans for both sides plus all
@@ -212,6 +225,11 @@ class DPhyp:
         ``p`` of the paper) and returns the candidate plans — both
         argument orders for commutative operators, the valid one(s)
         otherwise.
+
+        ``edges`` is the connecting-edge list the caller already
+        computed as its connectivity test, so each emitted pair scans
+        the incident-edge lists exactly once; ``None`` (direct callers,
+        tests) recomputes it here.
         """
         self.stats.ccp_emitted += 1
         plan1 = self.table.get(s1)
@@ -220,7 +238,8 @@ class DPhyp:
             # A side may be connected yet unplannable when non-inner
             # operator constraints rejected all of its plans.
             return
-        edges = self.graph.connecting_edges(s1, s2)
+        if edges is None:
+            edges = self.graph.connecting_edges(s1, s2)
         for candidate in self.builder.join_unordered(plan1, plan2, edges):
             self.table.offer(candidate)
 

@@ -111,8 +111,11 @@ class DPhypRecursive:
             return
         for node in bitset.iter_nodes_descending(neighborhood):
             s2 = bitset.singleton(node)
-            if self._has_connecting_edge(s1, s2):
-                self.emit_csg_cmp(s1, s2)
+            # One full-edge-list scan serves both the connectivity test
+            # and the edge conjunction EmitCsgCmp needs.
+            edges = self._connecting_edges(s1, s2)
+            if edges:
+                self.emit_csg_cmp(s1, s2, edges)
             # Forbid smaller neighbors during complement expansion so
             # each complement is reached from exactly one seed.
             self.enumerate_cmp_rec(
@@ -126,14 +129,25 @@ class DPhypRecursive:
             return
         for subset in bitset.subsets(neighborhood):
             grown = s2 | subset
-            if grown in self.table and self._has_connecting_edge(s1, grown):
-                self.emit_csg_cmp(s1, grown)
+            if grown in self.table:
+                edges = self._connecting_edges(s1, grown)
+                if edges:
+                    self.emit_csg_cmp(s1, grown, edges)
         expanded_x = x | neighborhood
         for subset in bitset.subsets(neighborhood):
             self.enumerate_cmp_rec(s1, s2 | subset, expanded_x)
 
-    def emit_csg_cmp(self, s1: NodeSet, s2: NodeSet) -> None:
-        """Build plans for the csg-cmp-pair ``(S1, S2)``."""
+    def emit_csg_cmp(
+        self,
+        s1: NodeSet,
+        s2: NodeSet,
+        edges: Optional[list] = None,
+    ) -> None:
+        """Build plans for the csg-cmp-pair ``(S1, S2)``.
+
+        ``edges`` is the caller's connectivity-test scan result, so an
+        emitted pair walks the edge list once; ``None`` recomputes.
+        """
         self.stats.ccp_emitted += 1
         plan1 = self.table.get(s1)
         plan2 = self.table.get(s2)
@@ -141,7 +155,8 @@ class DPhypRecursive:
             # A side may be connected yet unplannable when non-inner
             # operator constraints rejected all of its plans.
             return
-        edges = self._connecting_edges(s1, s2)
+        if edges is None:
+            edges = self._connecting_edges(s1, s2)
         for candidate in self.builder.join_unordered(plan1, plan2, edges):
             self.table.offer(candidate)
 

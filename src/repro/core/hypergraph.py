@@ -281,10 +281,16 @@ class Hypergraph:
 
         Simple edges come from the per-node incident lists of the lazy
         edge index (scanning only the smaller side); complex edges are
-        the only ones tested with :meth:`Hyperedge.connects`.  The
-        result preserves ``edges``-list order.
+        the only ones tested with :meth:`Hyperedge.connects`.  Per
+        probe node the adjacency bitmap is consulted first, so nodes
+        with no simple neighbor on the other side skip their incident
+        list entirely — a *negative* call costs no more than
+        :meth:`has_connecting_edge`, which lets the DPhyp emit path use
+        this method as its connectivity test (non-empty result) without
+        a separate containment scan.  The result preserves
+        ``edges``-list order.
         """
-        _key, _adj, simple_incident, complex_edges = self._edge_index()
+        _key, simple_adj, simple_incident, complex_edges = self._edge_index()
         probe, other = (
             (s1, s2) if s1.bit_count() <= s2.bit_count() else (s2, s1)
         )
@@ -292,11 +298,11 @@ class Hypergraph:
         remaining = probe
         while remaining:
             low = remaining & -remaining
-            for other_side, position, edge in simple_incident[
-                low.bit_length() - 1
-            ]:
-                if other_side & other:
-                    found[position] = edge
+            node = low.bit_length() - 1
+            if simple_adj[node] & other:
+                for other_side, position, edge in simple_incident[node]:
+                    if other_side & other:
+                        found[position] = edge
             remaining ^= low
         for position, edge in complex_edges:
             if edge.connects(s1, s2):

@@ -32,6 +32,7 @@ if TYPE_CHECKING:  # import cycle: repro.cache hosts the PlanCache
 from .core.dpccp import solve_dpccp
 from .core.dphyp import solve_dphyp
 from .core.dphyp_recursive import solve_dphyp_recursive
+from .core.kernel import solve_dphyp_kernel
 from .core.dpsize import solve_dpsize
 from .core.dpsub import solve_dpsub
 from .core.greedy import solve_greedy
@@ -73,6 +74,15 @@ class AlgorithmInfo:
             dispatch will still pick this algorithm, ``None`` for "no
             algorithm-specific ceiling".  This is *advisory* — explicit
             ``algorithm="dpsub"`` etc. always runs.
+        recommended_min_n: smallest relation count at which ``auto``
+            dispatch will pick this algorithm, ``None`` for "no
+            floor".  The mirror of ``recommended_max_n``, for backends
+            whose advantage only materializes on large queries (the
+            flat-array ``dphyp-kernel``: below the floor its two-phase
+            setup overhead is not worth displacing plain ``dphyp``,
+            and keeping small queries on ``dphyp`` keeps their cache
+            keys — which embed the resolved registration — stable).
+            Advisory in the same way: explicit selection always runs.
         auto_priority: tie-break among eligible candidates during
             ``auto`` dispatch; highest wins, ``0`` means "never
             auto-selected" (baselines kept for measurement only).
@@ -98,6 +108,7 @@ class AlgorithmInfo:
     supports_operator_trees: bool = True
     exact: bool = True
     recommended_max_n: Optional[int] = None
+    recommended_min_n: Optional[int] = None
     auto_priority: int = 0
     cacheable: bool = True
     description: str = ""
@@ -111,6 +122,16 @@ class AlgorithmInfo:
             raise ValueError(f"solver for {self.name!r} must be callable")
         if self.recommended_max_n is not None and self.recommended_max_n < 1:
             raise ValueError("recommended_max_n must be positive")
+        if self.recommended_min_n is not None and self.recommended_min_n < 1:
+            raise ValueError("recommended_min_n must be positive")
+        if (
+            self.recommended_min_n is not None
+            and self.recommended_max_n is not None
+            and self.recommended_min_n > self.recommended_max_n
+        ):
+            raise ValueError(
+                "recommended_min_n must not exceed recommended_max_n"
+            )
         if self.auto_priority < 0:
             raise ValueError("auto_priority must be non-negative")
 
@@ -408,9 +429,12 @@ def select_auto(
     * complex hyperedges rule out simple-graph-only solvers (DPccp);
     * above ``exact_threshold`` relations, exact enumerators are ruled
       out and the search falls back to the greedy heuristic;
-    * a solver's own ``recommended_max_n`` ceiling is honoured;
+    * a solver's own ``recommended_max_n`` ceiling and
+      ``recommended_min_n`` floor are honoured;
     * among the survivors the highest ``auto_priority`` wins, so DPccp
-      takes small simple graphs and DPhyp everything else exact.
+      takes small simple graphs, the flat-array ``dphyp-kernel`` takes
+      large inner-join queries (its floor keeps it off small ones),
+      and DPhyp everything else exact.
 
     One cache-aware refinement: when a ``cache`` is attached and the
     query sits *just above* the threshold (within
@@ -444,6 +468,8 @@ def select_auto(
         if from_tree and not info.supports_operator_trees:
             continue
         if info.recommended_max_n is not None and n > info.recommended_max_n:
+            continue
+        if info.recommended_min_n is not None and n < info.recommended_min_n:
             continue
         if not info.exact:
             if fallback is None or info.auto_priority > fallback.auto_priority:
@@ -496,6 +522,20 @@ register_algorithm(AlgorithmInfo(
     solver=solve_dphyp,
     auto_priority=50,
     description="iterative DPhyp, the paper's hypergraph enumerator",
+))
+register_algorithm(AlgorithmInfo(
+    name="dphyp-kernel",
+    solver=solve_dphyp_kernel,
+    # Inner-join builder only: operator-tree queries (Section 5) keep
+    # dispatching to dphyp, and the solver itself falls back for any
+    # builder that is not a plain JoinPlanBuilder.
+    supports_operator_trees=False,
+    # Outranks dphyp, but only for queries large enough that the
+    # flat-array search pays off; below the floor auto keeps picking
+    # dphyp, so existing small-query cache keys stay stable.
+    recommended_min_n=15,
+    auto_priority=60,
+    description="two-phase flat-array DPhyp for large inner-join queries",
 ))
 register_algorithm(AlgorithmInfo(
     name="dphyp-recursive",

@@ -19,6 +19,7 @@ from repro.analysis.checkers import (
     CacheKeyCompletenessChecker,
     KeyFingerprintChecker,
     LockDisciplineChecker,
+    ModuleStateChecker,
     NoPickleChecker,
     RegistryCapabilityChecker,
 )
@@ -41,7 +42,7 @@ class TestCleanRepo:
         report = run_analysis()
         assert report.findings == [], "\n" + report.render()
         assert report.files > 40  # the whole package was actually walked
-        assert len(report.checkers) == len(ALL_CHECKERS) == 5
+        assert len(report.checkers) == len(ALL_CHECKERS) == 6
 
     def test_cli_gate_exits_zero_with_json(self):
         process = subprocess.run(
@@ -373,6 +374,70 @@ class TestFrameworkMechanics:
             "lock-discipline",
             "registry-capability",
         } <= {finding["rule"] for finding in document["findings"]}
+
+
+class TestModuleState:
+    KERNEL_PATH = "repro/core/kernel/solver.py"
+
+    def test_scope_is_the_kernel_package(self):
+        source = "CACHE = {}\n"
+        checker = ModuleStateChecker()
+        assert check_source(source, checker, path=self.KERNEL_PATH)
+        assert not check_source(source, checker, path="repro/core/dphyp.py")
+        assert not check_source(source, checker, path="repro/cache/keys.py")
+
+    def test_flags_every_mutable_container_form(self):
+        source = (
+            "import collections\n"
+            "TABLE = {}\n"
+            "SLOTS = []\n"
+            "SEEN = set()\n"
+            "BY_NAME = collections.defaultdict(list)\n"
+            "SQUARES = [n * n for n in range(4)]\n"
+        )
+        findings = check_source(
+            source, ModuleStateChecker(), path=self.KERNEL_PATH
+        )
+        assert len(findings) == 5
+        assert {f.rule for f in findings} == {"module-state"}
+
+    def test_immutable_constants_and_dunders_are_fine(self):
+        source = (
+            "KINDS = (1, 2, 3)\n"
+            "SYMMETRIC = frozenset({1, 2})\n"
+            "_np = None\n"
+            "NAME = 'kernel'\n"
+            "__all__ = ['KernelDPhyp']\n"
+        )
+        assert check_source(
+            source, ModuleStateChecker(), path=self.KERNEL_PATH
+        ) == []
+
+    def test_instance_and_function_state_is_fine(self):
+        source = (
+            "class Solver:\n"
+            "    def __init__(self):\n"
+            "        self.slot_of = {}\n"
+            "def run():\n"
+            "    local_cache = {}\n"
+            "    return local_cache\n"
+        )
+        assert check_source(
+            source, ModuleStateChecker(), path=self.KERNEL_PATH
+        ) == []
+
+    def test_suppression_waives_a_deliberate_cache(self):
+        source = "_MEMO = {}  # repro: ignore[module-state]\n"
+        assert check_source(
+            source, ModuleStateChecker(), path=self.KERNEL_PATH
+        ) == []
+
+    def test_real_kernel_package_is_clean(self):
+        report = run_analysis(
+            paths=[PACKAGE_ROOT / "core" / "kernel"],
+            checkers=[ModuleStateChecker()],
+        )
+        assert report.findings == [], "\n" + report.render()
 
 
 @pytest.mark.parametrize("factory", ALL_CHECKERS)

@@ -262,6 +262,165 @@ class TestRegressionCompare:
         assert "REGRESSION" in capsys.readouterr().err
 
 
+class TestKernelTier:
+    def tiny_document(self):
+        from repro.bench.regression import run_regression
+
+        # --max-n 6 collapses the chain ladder to one entry per shape
+        return run_regression(
+            max_n=6, repeat=1, label="kernel-unit", tier="kernel"
+        )
+
+    def test_run_and_validate(self):
+        from repro.bench.regression import validate_result
+
+        document = self.tiny_document()
+        validate_result(document)
+        assert document["tier"] == "kernel"
+        shapes = [entry["workload"] for entry in document["workloads"]]
+        # clamped sizes dedupe the 30/40/60 chain ladder
+        assert shapes == ["chain-6", "cycle-6", "star-6", "clique-6"]
+        for entry in document["workloads"]:
+            base = entry["results"]["dphyp"]
+            new = entry["results"]["dphyp-kernel"]
+            # the kernel contract: exactly equal, not approximately
+            assert new["ccp"] == base["ccp"]
+            assert new["cost"] == base["cost"]
+
+    def test_gate_passes_on_equivalent_fast_kernel(self):
+        from repro.bench.regression import (
+            KERNEL_GATE_MIN_N,
+            kernel_gate_problems,
+        )
+
+        document = self.tiny_document()
+        # promote one workload past the gate size and make the kernel
+        # "fast" so only the synthetic numbers decide
+        entry = document["workloads"][0]
+        entry["n_relations"] = KERNEL_GATE_MIN_N
+        entry["results"]["dphyp"]["ms"] = 10.0
+        entry["results"]["dphyp-kernel"]["ms"] = 2.0
+        assert kernel_gate_problems(document, min_speedup=3.0) == []
+
+    def test_gate_flags_slow_kernel_and_drift(self):
+        from repro.bench.regression import (
+            KERNEL_GATE_MIN_N,
+            kernel_gate_problems,
+        )
+
+        document = self.tiny_document()
+        entry = document["workloads"][0]
+        entry["n_relations"] = KERNEL_GATE_MIN_N
+        entry["results"]["dphyp"]["ms"] = 10.0
+        entry["results"]["dphyp-kernel"]["ms"] = 9.0  # only 1.1x
+        document["workloads"][1]["results"]["dphyp-kernel"]["cost"] *= 2
+        document["workloads"][2]["results"]["dphyp-kernel"]["ccp"] += 1
+        problems = kernel_gate_problems(document, min_speedup=3.0)
+        assert any("speedup" in p for p in problems)
+        assert any("bit-identical" in p for p in problems)
+        assert any("search space drift" in p for p in problems)
+
+    def test_gate_refuses_to_pass_vacuously(self):
+        from repro.bench.regression import kernel_gate_problems
+
+        document = self.tiny_document()  # every workload below n=30
+        problems = kernel_gate_problems(document, min_speedup=3.0)
+        assert any("checked nothing" in p for p in problems)
+
+    def test_committed_baseline_is_valid_and_meets_the_bar(self):
+        import json
+        import pathlib
+
+        from repro.bench.regression import (
+            KERNEL_GATE_MIN_N,
+            validate_result,
+        )
+
+        path = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "BENCH_pr8_kernel.json"
+        )
+        document = json.loads(path.read_text())
+        validate_result(document)
+        assert document["tier"] == "kernel"
+        gated = [
+            entry["query"]
+            for entry in document["workloads"]
+            if entry["n_relations"] >= KERNEL_GATE_MIN_N
+        ]
+        assert gated  # the committed run must exercise the gate
+        for query in gated:
+            assert document["speedups"][query] >= 3.0, query
+
+    def test_cli_tier_and_min_speedup(self, capsys):
+        from repro.bench.regression import main
+
+        # tiny sizes stay below KERNEL_GATE_MIN_N -> the gate must
+        # refuse to pass vacuously
+        assert main(["--tier", "kernel", "--max-n", "4",
+                     "--repeat", "1", "--min-speedup", "1e-9"]) == 1
+        captured = capsys.readouterr()
+        assert "kernel speedup" in captured.out
+        assert "GATE" in captured.err
+
+    def test_cli_min_speedup_requires_kernel_tier(self, capsys):
+        from repro.bench.regression import main
+
+        with pytest.raises(SystemExit):
+            main(["--min-speedup", "2"])
+        assert "--tier kernel" in capsys.readouterr().err
+
+
+class TestProfileSubcommand:
+    def test_report_structure_and_phases(self):
+        from repro.bench.profile import PHASE_ORDER, profile_workload
+
+        report = profile_workload("chain", 8, algorithm="dphyp-kernel")
+        assert report["workload"] == "chain-8"
+        assert report["ccp"] > 0
+        assert set(report["phases_ms"]) == set(PHASE_ORDER)
+        # own-time buckets are disjoint, so they sum to the total
+        assert sum(report["phases_ms"].values()) == pytest.approx(
+            report["total_ms"], abs=0.1
+        )
+        assert report["hot"]
+        assert {"function", "phase", "ncalls", "tottime_ms"} <= set(
+            report["hot"][0]
+        )
+        # the enumeration must show up as search time on any real run
+        assert report["phases_ms"]["search"] > 0
+
+    def test_phase_classification(self):
+        from repro.bench.profile import classify_phase
+
+        assert classify_phase("src/repro/core/dphyp.py") == "search"
+        assert classify_phase("src/repro/core/kernel/solver.py") == "search"
+        assert (
+            classify_phase("src/repro/core/kernel/costing.py") == "costing"
+        )
+        assert classify_phase("src/repro/cost/models.py") == "costing"
+        assert classify_phase("src/repro/core/plans.py") == "materialize"
+        assert classify_phase("src/repro/optimizer.py") == "other"
+
+    def test_cli_text_and_json(self, capsys):
+        import json
+
+        from repro.bench.profile import main
+
+        assert main(["--workload", "cycle", "--n", "6", "--top", "3"]) == 0
+        assert "phase totals" in capsys.readouterr().out
+        assert main(["--workload", "star", "--n", "4", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["workload"] == "star-4"
+        assert len(document["hot"]) <= 10
+
+    def test_bench_cli_dispatches_profile(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["profile", "--workload", "chain", "--n", "5"]) == 0
+        assert "profile: chain-5" in capsys.readouterr().out
+
+
 class TestReporting:
     def _dummy_result(self):
         from repro.bench.harness import Measurement

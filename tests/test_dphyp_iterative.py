@@ -32,9 +32,9 @@ def record_run(solver_class, query, **kwargs):
     emitted = []
     original = solver.emit_csg_cmp
 
-    def recording(s1, s2):
+    def recording(s1, s2, edges=None):
         emitted.append((s1, s2))
-        original(s1, s2)
+        original(s1, s2, edges)
 
     solver.emit_csg_cmp = recording
     plan = solver.run()

@@ -21,9 +21,9 @@ class TestFig3TraceProperties:
         emitted = []
         original = solver.emit_csg_cmp
 
-        def recording(s1, s2):
+        def recording(s1, s2, edges=None):
             emitted.append((s1, s2))
-            original(s1, s2)
+            original(s1, s2, edges)
 
         solver.emit_csg_cmp = recording
         plan = solver.run()

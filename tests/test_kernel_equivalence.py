@@ -1,0 +1,187 @@
+"""Property-based equivalence: ``dphyp-kernel`` vs ``dphyp``.
+
+The kernel's contract is not "approximately the same plan" — it is the
+*same* search (identical csg-cmp-pairs) pricing the *same* candidates
+with bit-identical float arithmetic, differing only in data layout.
+These tests pin that contract on random hypergraphs:
+
+* exact ``cost`` / ``cardinality`` / join-order equality against both
+  ``dphyp`` and the seed-faithful ``dphyp-recursive``, across every
+  shipped cost model (including ``MinOfModel``, which exercises the
+  generic proxy path);
+* ``SearchStats`` parity — ``ccp_emitted``, ``table_entries`` and
+  ``cost_calls`` must match, or the kernel explored a different space;
+* the numpy-free scalar fallback (simulated by monkeypatching the
+  module's ``_np`` handle) produces the identical result, and the
+  vectorized/scalar cardinality closures agree bit-for-bit.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.dphyp import solve_dphyp
+from repro.core.dphyp_recursive import solve_dphyp_recursive
+from repro.core.kernel import solve_dphyp_kernel
+from repro.core.kernel import costing as kernel_costing
+from repro.core.kernel.costing import EdgeCoefficients, make_cardinality_fn
+from repro.core.plans import JoinPlanBuilder
+from repro.core.stats import SearchStats
+from repro.cost.models import (
+    CoutModel,
+    HashJoinModel,
+    MinOfModel,
+    NestedLoopModel,
+    SortMergeModel,
+)
+from repro.workloads.random_queries import (
+    random_hypergraph_query,
+    random_simple_query,
+)
+
+COMMON = dict(
+    deadline=None, suppress_health_check=[HealthCheck.too_slow], max_examples=40
+)
+
+MODELS = [
+    CoutModel,
+    NestedLoopModel,
+    HashJoinModel,
+    SortMergeModel,
+    lambda: MinOfModel([HashJoinModel(), SortMergeModel()]),
+]
+
+
+@st.composite
+def hypergraph_queries(draw):
+    n = draw(st.integers(min_value=2, max_value=8))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    n_hyperedges = draw(st.integers(min_value=0, max_value=3))
+    islands = draw(st.integers(min_value=1, max_value=2))
+    flex = draw(st.sampled_from([0.0, 0.3, 0.7]))
+    return random_hypergraph_query(
+        n,
+        seed,
+        n_hyperedges=n_hyperedges,
+        n_islands=islands,
+        flex_probability=flex,
+    )
+
+
+@st.composite
+def simple_queries(draw):
+    n = draw(st.integers(min_value=2, max_value=9))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    extra = draw(st.sampled_from([0.0, 0.3, 0.8]))
+    return random_simple_query(n, seed, extra_edge_probability=extra)
+
+
+def solve(solver, query, make_model=CoutModel):
+    stats = SearchStats()
+    builder = JoinPlanBuilder(
+        query.graph,
+        query.cardinalities,
+        cost_model=make_model(),
+        stats=stats,
+    )
+    plan = solver(query.graph, builder, stats)
+    return plan, stats
+
+
+def join_order(plan):
+    if plan is None:
+        return None
+    if plan.is_leaf:
+        return plan.nodes
+    return (join_order(plan.left), join_order(plan.right))
+
+
+def assert_equivalent(query, make_model=CoutModel):
+    kernel_plan, kernel_stats = solve(solve_dphyp_kernel, query, make_model)
+    for reference_solver in (solve_dphyp, solve_dphyp_recursive):
+        plan, stats = solve(reference_solver, query, make_model)
+        if plan is None:
+            assert kernel_plan is None
+            continue
+        assert kernel_plan is not None
+        # bit-identical, not approx: the kernel replays the same floats
+        assert kernel_plan.cost == plan.cost
+        assert kernel_plan.cardinality == plan.cardinality
+        assert join_order(kernel_plan) == join_order(plan)
+        assert kernel_stats.ccp_emitted == stats.ccp_emitted
+        assert kernel_stats.table_entries == stats.table_entries
+        assert kernel_stats.cost_calls == stats.cost_calls
+
+
+class TestKernelEquivalence:
+    @given(query=hypergraph_queries())
+    @settings(**COMMON)
+    def test_hypergraphs_cout(self, query):
+        assert_equivalent(query)
+
+    @given(query=simple_queries())
+    @settings(**COMMON)
+    def test_simple_graphs_cout(self, query):
+        assert_equivalent(query)
+
+    @given(
+        query=simple_queries(),
+        model_index=st.integers(min_value=0, max_value=len(MODELS) - 1),
+    )
+    @settings(**COMMON)
+    def test_simple_graphs_all_models(self, query, model_index):
+        assert_equivalent(query, MODELS[model_index])
+
+    @given(query=hypergraph_queries())
+    @settings(**COMMON)
+    def test_hypergraphs_sort_merge(self, query):
+        # the one shipped model whose two join orders price
+        # differently in float arithmetic — the kernel must offer both
+        assert_equivalent(query, SortMergeModel)
+
+
+class TestScalarFallback:
+    """numpy is an accelerator, never a dependency."""
+
+    @given(query=hypergraph_queries())
+    @settings(**COMMON)
+    def test_no_numpy_is_identical(self, query):
+        reference, reference_stats = solve(solve_dphyp, query)
+        saved = kernel_costing._np
+        kernel_costing._np = None  # simulate `import numpy` failing
+        try:
+            coefficients = EdgeCoefficients(query.graph)
+            assert coefficients.vectorized is False
+            plan, stats = solve(solve_dphyp_kernel, query)
+        finally:
+            kernel_costing._np = saved
+        if reference is None:
+            assert plan is None
+            return
+        assert plan is not None
+        assert plan.cost == reference.cost
+        assert plan.cardinality == reference.cardinality
+        assert join_order(plan) == join_order(reference)
+        assert stats.ccp_emitted == reference_stats.ccp_emitted
+
+    @given(query=simple_queries())
+    @settings(**COMMON)
+    def test_vectorized_and_scalar_cardinality_agree(self, query):
+        numpy = pytest.importorskip("numpy")
+        del numpy  # only the availability matters
+        graph = query.graph
+        base = [float(c) for c in query.cardinalities]
+        fast = EdgeCoefficients(graph, use_numpy=True)
+        slow = EdgeCoefficients(graph, use_numpy=False)
+        assert fast.vectorized is (graph.n_nodes <= 64 and bool(graph.edges))
+        assert slow.vectorized is False
+        card_fast = make_cardinality_fn(base, fast, {})
+        card_slow = make_cardinality_fn(base, slow, {})
+        for s in range(1, 1 << graph.n_nodes):
+            assert card_fast(s) == card_slow(s)
+
+    def test_explicit_use_numpy_false_means_scalar(self):
+        query = random_simple_query(5, seed=7)
+        coefficients = EdgeCoefficients(query.graph, use_numpy=False)
+        assert coefficients.vectorized is False
+        assert coefficients.np_masks is None

@@ -67,9 +67,9 @@ class TestCcpExactness:
         emitted: list[tuple[int, int]] = []
         original = solver.emit_csg_cmp
 
-        def recording(s1, s2):
+        def recording(s1, s2, edges=None):
             emitted.append((s1, s2) if s1 < s2 else (s2, s1))
-            original(s1, s2)
+            original(s1, s2, edges)
 
         solver.emit_csg_cmp = recording
         solver.run()
