@@ -35,6 +35,8 @@ Usage::
         --min-speedup 3 --min-restart-speedup 3
     PYTHONPATH=src python -m repro.bench throughput --executor process \
         --workers 4
+    PYTHONPATH=src python -m repro.bench throughput --max-n 6 --copies 8 \
+        --cache-path plans.sqlite --min-restart-speedup 3
 """
 
 from __future__ import annotations
@@ -123,6 +125,7 @@ def run_restart(
     copies: int = 24,
     workers: Optional[int] = None,
     executor: Optional[str] = None,
+    cache_path: Optional[str] = None,
 ) -> dict:
     """Measure the persistence layer: cold restart vs warm restart.
 
@@ -132,11 +135,21 @@ def run_restart(
     then by a second fresh optimizer with the same config (**warm
     restart** — the process came back: the cache auto-loads and the
     very first query must already be a hit).
+
+    ``cache_path`` picks the persistence backend by file name (e.g.
+    ``plans.sqlite`` measures the incremental SQLite store instead of
+    the JSON document; only the basename is used — the file itself
+    lives in a scratch directory either way).
     """
+    from ..cache.store import is_store_path
+
+    filename = os.path.basename(cache_path) if cache_path else (
+        "plan-cache.json"
+    )
     bases = [base for _shape, base in default_suite(max_n)]
     batch = mixed_shapes_workload(bases, copies, seed=300)
     with tempfile.TemporaryDirectory() as tmp:
-        path = os.path.join(tmp, "plan-cache.json")
+        path = os.path.join(tmp, filename)
         config = OptimizerConfig(cache="on", cache_path=path)
 
         cold_server = Optimizer(config)        # first boot: no file yet
@@ -163,6 +176,8 @@ def run_restart(
         )
     return {
         "workload": "mixed-shapes-restart",
+        "cache_file": filename,
+        "cache_backend": "store" if is_store_path(filename) else "document",
         "shapes": [base.description for base in bases],
         "n_queries": len(batch),
         "persisted_entries": persisted_entries,
@@ -186,6 +201,7 @@ def run_throughput(
     workers: Optional[int] = None,
     label: str = "",
     executor: Optional[str] = None,
+    cache_path: Optional[str] = None,
 ) -> dict:
     """Measure the repeated-workload suite; return the JSON document."""
     if copies < 2:
@@ -276,7 +292,8 @@ def run_throughput(
         "workloads": workloads,
         "drifting": drifting,
         "restart": run_restart(
-            max_n=max_n, copies=copies, workers=workers, executor=executor
+            max_n=max_n, copies=copies, workers=workers, executor=executor,
+            cache_path=cache_path,
         ),
         "min_speedup": round(
             min(entry["speedup"] for entry in workloads), 3
@@ -344,8 +361,10 @@ def render_summary(document: dict) -> str:
         )
     restart = document.get("restart")
     if restart:
+        backend = restart.get("cache_backend")
         lines.append(
-            f"  restart: cold={restart['cold_restart_qps']:>9} q/s  "
+            f"  restart{f' ({backend})' if backend else ''}: "
+            f"cold={restart['cold_restart_qps']:>9} q/s  "
             f"warm={restart['warm_restart_qps']:>10} q/s  "
             f"speedup={restart['restart_speedup']:.1f}x  "
             f"first query after restart: {restart['first_query_event']} "
@@ -389,6 +408,13 @@ def main(argv=None) -> int:
         "--label", default="", help="free-form label stored in the document"
     )
     parser.add_argument(
+        "--cache-path", default=None,
+        help="cache file name for the restart phase; the extension picks "
+             "the backend (plans.sqlite = incremental SQLite store, "
+             "anything else = JSON document; default plan-cache.json). "
+             "The file lives in a scratch directory either way.",
+    )
+    parser.add_argument(
         "--min-speedup", type=float, default=None,
         help="fail (exit 1) when hot/cold speedup of any workload is "
              "below this factor (the CI gate)",
@@ -406,6 +432,7 @@ def main(argv=None) -> int:
         workers=args.workers,
         label=args.label,
         executor=args.executor,
+        cache_path=args.cache_path,
     )
     validate_result(document)
     print(render_summary(document))

@@ -246,6 +246,142 @@ def _parse_strict(
     return cache
 
 
+# -- incremental document maintenance ----------------------------------------
+
+
+class DocumentSync:
+    """Incrementally maintained :func:`dump_document` mirror.
+
+    :func:`dump_document` re-``repr``-serializes *every* entry on every
+    call — O(cache size) even when a batch added two plans.  This class
+    keeps the serialized per-entry dicts between saves and updates them
+    from :meth:`~repro.cache.plan_cache.PlanCache.sync_since` deltas,
+    so a save after a batch that stored k new entries serializes
+    exactly k entries (the ``serialized`` counter is the proof — tests
+    assert on it).  The membership snapshot that rides along on the
+    delta (``include_order=True``) reconciles LRU evictions, drops,
+    and epoch bumps, so the produced document is load-equivalent to a
+    fresh :func:`dump_document` of the same cache state: same
+    survivors, same order, same epoch — it merely omits entries a
+    loader would skip anyway (stale-epoch leftovers).
+
+    Not thread-safe on its own; the owning persister serializes calls
+    (the optimizer autosave runs at batch end, the daemon under its
+    request lock).
+    """
+
+    def __init__(self) -> None:
+        self._cache_id: Optional[int] = None
+        self._cursor = 0
+        self._epoch = 0
+        self._capacity = 0
+        self._serialized: "dict[Any, dict]" = {}
+        self._order: "tuple[Any, ...]" = ()
+        self._primed = False
+        #: entries ``repr``-serialized since construction — the O(k)
+        #: accounting the incremental-autosave tests assert on
+        self.serialized = 0
+
+    def update(self, cache: PlanCache) -> bool:
+        """Fold the cache's latest delta in; True when the doc changed.
+
+        A different cache object than last time resets the mirror (full
+        re-serialization on this call, deltas afterwards).  Returns
+        ``False`` — save skippable — only when *nothing* mutated since
+        the previous update and the mirror is already primed.
+        """
+        if self._cache_id != id(cache):
+            self._cache_id = id(cache)
+            self._cursor = 0
+            self._serialized.clear()
+            self._order = ()
+            self._primed = False
+        delta = cache.sync_since(self._cursor, include_order=True)
+        self._capacity = cache.capacity
+        if delta.empty and self._primed:
+            return False
+        for _mutation_id, key, recipe, structure, cost in delta.entries:
+            self._serialized[key] = {
+                "key": repr(key),
+                "recipe": repr(recipe),
+                "epoch": delta.epoch,
+                "structure": structure,
+                "cost": cost,
+            }
+            self.serialized += 1
+        # reconcile: drop what left the cache (LRU eviction, clear,
+        # invalidation) or went stale (epoch moved; a loader would skip
+        # it, and a later refresh re-ships it through the delta)
+        membership = set(delta.order or ())
+        self._serialized = {
+            key: entry
+            for key, entry in self._serialized.items()
+            if key in membership and entry["epoch"] == delta.epoch
+        }
+        self._order = tuple(
+            key for key in (delta.order or ()) if key in self._serialized
+        )
+        self._cursor = delta.now
+        self._epoch = delta.epoch
+        self._primed = True
+        return True
+
+    def document(self) -> dict:
+        """The maintained document (same shape as :func:`dump_document`)."""
+        return {
+            "format": FORMAT_NAME,
+            "format_version": FORMAT_VERSION,
+            "key_version": KEY_VERSION,
+            "epoch": self._epoch,
+            "mutations": self._cursor,
+            "capacity": self._capacity,
+            "entries": [self._serialized[key] for key in self._order],
+        }
+
+
+class DocumentPersister:
+    """JSON-document side of the persister facade (see
+    :func:`repro.cache.store.open_persister`).
+
+    Wraps :class:`DocumentSync` + :func:`save_document`: ``sync`` is a
+    no-op for a clean cache, serializes only the delta otherwise, and
+    always writes atomically.  ``load`` primes the mirror from the
+    just-loaded cache so a warm restart's first all-hits batch does not
+    rewrite an identical file.
+    """
+
+    kind = "document"
+
+    def __init__(self, path: str, capacity: Optional[int] = None) -> None:
+        self.path = path
+        self._capacity = capacity
+        self._sync = DocumentSync()
+
+    def load(self) -> PlanCache:
+        cache = load(self.path, capacity=self._capacity)
+        # prime: the loaded content IS the file content; serializing it
+        # once here (instead of on the first save) keeps every later
+        # save O(delta)
+        self._sync.update(cache)
+        return cache
+
+    def sync(self, cache: PlanCache, force: bool = False) -> int:
+        """Save changes since the last sync; entry count written (0 =
+        skipped clean)."""
+        changed = self._sync.update(cache)
+        if not changed and not force:
+            return 0
+        return save_document(self._sync.document(), self.path)
+
+    def close(self) -> None:
+        """Nothing to release (the JSON backend holds no handles)."""
+
+    @property
+    def serialized(self) -> int:
+        """Entries ``repr``-serialized so far (O(k) accounting)."""
+        return self._sync.serialized
+
+
 def restore_document(
     document: Any, capacity: Optional[int] = None
 ) -> PlanCache:

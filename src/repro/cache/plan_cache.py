@@ -86,6 +86,13 @@ class CacheDelta:
     now: int
     epoch: int
     entries: "tuple[tuple[int, Any, Any, Optional[str], Optional[float]], ...]"
+    #: full key membership, LRU-first, captured under the same lock —
+    #: only when the consumer asked for it
+    #: (``sync_since(..., include_order=True)``).  Mirror consumers
+    #: (the incremental JSON document saver) reconcile drops and LRU
+    #: evictions against it; additive consumers (worker warm-up, the
+    #: SQLite store) ignore it.
+    order: "Optional[tuple[Any, ...]]" = None
 
     @property
     def empty(self) -> bool:
@@ -262,7 +269,9 @@ class PlanCache:
             ]
             return entries, self._epoch, self.mutations
 
-    def sync_since(self, mutation_id: int) -> CacheDelta:
+    def sync_since(
+        self, mutation_id: int, include_order: bool = False
+    ) -> CacheDelta:
         """Atomic delta: everything written after mutation ``mutation_id``.
 
         One lock acquisition yields a consistent ``(now, epoch,
@@ -279,6 +288,14 @@ class PlanCache:
         at the *current* epoch are never shipped — consumers absorb
         entries fresh at their own epoch, so shipping a stale one would
         resurrect it (the same rule the persistence loader applies).
+
+        ``include_order=True`` additionally captures the full key
+        membership (LRU-first) in ``delta.order`` under the same lock,
+        for *mirror* consumers that must also reconcile drops and LRU
+        evictions (the incremental JSON document saver).  Additive
+        consumers should leave it off: the membership tuple is O(cache
+        size) to build, exactly the cost delta consumers exist to
+        avoid.
         """
         with self._lock:
             if mutation_id >= self.mutations:
@@ -301,6 +318,7 @@ class PlanCache:
                 now=self.mutations,
                 epoch=self._epoch,
                 entries=entries,
+                order=tuple(self._entries) if include_order else None,
             )
 
     def absorb(

@@ -1,0 +1,869 @@
+"""Embedded SQLite plan store: incremental, bounded, crash-safe.
+
+The JSON document (:mod:`repro.cache.persist`) rewrites every entry on
+each autosave and retains everything the LRU holds — the wrong shape
+once a resident daemon serves production capacities.  This module
+replaces it as the default on-disk backend while keeping the document
+as the interchange format:
+
+* **incremental writes** — :meth:`PlanStore.sync_from` consumes the
+  same :meth:`~repro.cache.plan_cache.PlanCache.sync_since` mutation
+  cursor the serving workers warm from, upserting exactly the entries
+  written since the last sync (O(delta) rows, never a full rewrite);
+* **bounded retention** — per-entry TTLs (``ttl``), an on-disk size
+  budget (``size_budget``) enforced LRU-first, and an optional
+  background compaction thread (``compact_interval``);
+* **concurrent access** — SQLite WAL mode gives readers snapshot
+  isolation while one writer commits; ``busy_timeout`` plus
+  ``BEGIN IMMEDIATE`` single-writer transactions let multiple serving
+  processes share one store file without ``database is locked``
+  escapes;
+* **crash safety** — every write happens in one transaction, so a
+  writer killed mid-sync loses at most its uncommitted delta; a
+  corrupt, truncated, or foreign file is quarantined (renamed to
+  ``<path>.corrupt``) and rebuilt cold with a
+  :class:`~repro.cache.persist.CachePersistenceWarning`, never an
+  exception.
+
+Persistence invariants (machine-checked by ``python -m
+repro.analysis``): keys and recipes are stored as ``repr`` text and
+parsed back with :func:`ast.literal_eval` — never pickle — and the
+``meta`` table stamps :data:`~repro.cache.keys.KEY_VERSION` and the
+store schema version; a mismatch on either degrades to a cold store.
+Process-scoped keys (:func:`~repro.core.identity.is_process_scoped`)
+are never written.
+
+Epoch semantics mirror the JSON document: the store keeps its own
+``epoch`` in ``meta`` and every entry row stamps the epoch it was
+fresh under.  When the attached cache's statistics epoch moves between
+syncs, the store epoch is bumped and older rows become stale —
+:meth:`PlanStore.load` only absorbs rows at the current store epoch,
+exactly like the document loader skips entries stale at save time.
+
+Format selection is by file extension: :func:`open_persister` returns
+a :class:`StorePersister` for ``.sqlite`` / ``.sqlite3`` / ``.db``
+paths and falls back to the JSON
+:class:`~repro.cache.persist.DocumentPersister` otherwise, so
+``OptimizerConfig(cache_path="plans.sqlite")`` is all it takes to
+switch backends.  See ``docs/store.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sqlite3
+import threading
+import time
+import warnings
+from typing import Any, Optional, Union
+
+from ..core.identity import is_process_scoped
+from . import persist
+from .keys import KEY_VERSION
+from .plan_cache import CacheDelta, PlanCache
+from .store_schema import (
+    CREATE_STATEMENTS,
+    META_CAPACITY,
+    META_EPOCH,
+    META_FORMAT,
+    META_KEY_VERSION,
+    META_SCHEMA_VERSION,
+    META_SEQ,
+    STORE_FORMAT_NAME,
+    STORE_SCHEMA_VERSION,
+    entry_size,
+)
+
+#: extensions :func:`is_store_path` treats as SQLite stores
+STORE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+
+
+def is_store_path(path: str) -> bool:
+    """True when ``path`` selects the SQLite backend (by extension)."""
+    return os.path.splitext(path)[1].lower() in STORE_SUFFIXES
+
+
+def _warn(message: str) -> None:
+    warnings.warn(message, persist.CachePersistenceWarning, stacklevel=3)
+
+
+class _StoreRejected(Exception):
+    """Internal: an existing file failed the compatibility checks."""
+
+
+class PlanStore:
+    """SQLite-backed incremental persistence for a :class:`PlanCache`.
+
+    One instance owns one connection (WAL journal, ``busy_timeout``),
+    guarded by an internal lock so optimizer threads can share it; open
+    one instance per *process* — cross-process coordination is SQLite's
+    job, not Python's.
+
+    Every public operation is **total**: corruption, disk-full, and
+    lock contention degrade to a warning plus a usable (possibly cold)
+    store, never an exception.  A store whose file cannot even be
+    rebuilt (unwritable directory) becomes a no-op shell: ``load``
+    returns cold caches and ``sync_from`` returns 0.
+
+    Counters (plain ints, written under the lock, read without it):
+    ``rows_written``, ``rows_expired``, ``rows_evicted`` (size budget),
+    ``rows_stale_dropped`` (epoch moved), ``syncs``, ``skipped_syncs``
+    (clean — no transaction opened), ``failed_syncs``, ``rebuilds``
+    (quarantine events), ``load_skipped`` (unparsable/foreign rows).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        capacity: Optional[int] = None,
+        ttl: Optional[float] = None,
+        size_budget: Optional[int] = None,
+        busy_timeout: float = 5.0,
+        compact_interval: Optional[float] = None,
+    ) -> None:
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl must be None or > 0 seconds")
+        if size_budget is not None and size_budget < 1:
+            raise ValueError("size_budget must be None or >= 1 bytes")
+        if busy_timeout < 0:
+            raise ValueError("busy_timeout must be >= 0")
+        if compact_interval is not None and compact_interval <= 0:
+            raise ValueError("compact_interval must be None or > 0")
+        self.path = path
+        self.ttl = ttl
+        self.size_budget = size_budget
+        self.busy_timeout = busy_timeout
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        #: identity + cursor + epoch of the attached cache; reset when
+        #: a different cache object shows up (see :meth:`sync_from`)
+        self._cache_id: Optional[int] = None
+        self._cursor = 0
+        self._cache_epoch: Optional[int] = None
+        self.rows_written = 0
+        self.rows_expired = 0
+        self.rows_evicted = 0
+        self.rows_stale_dropped = 0
+        self.syncs = 0
+        self.skipped_syncs = 0
+        self.failed_syncs = 0
+        self.rebuilds = 0
+        self.load_skipped = 0
+        conn, rebuilt = self._open()
+        self._conn: Optional[sqlite3.Connection] = conn
+        if rebuilt:
+            self.rebuilds = 1
+        self._compact_stop = threading.Event()
+        self._compactor: Optional[threading.Thread] = None
+        if compact_interval is not None:
+            self._compactor = threading.Thread(
+                target=self._compact_loop,
+                args=(compact_interval,),
+                name=f"plan-store-compactor:{os.path.basename(path)}",
+                daemon=True,
+            )
+            self._compactor.start()
+
+    # -- lifecycle --------------------------------------------------------
+
+    def __enter__(self) -> "PlanStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop background compaction and close the connection."""
+        self._compact_stop.set()
+        compactor = self._compactor
+        if compactor is not None:
+            compactor.join(timeout=5.0)
+        with self._lock:
+            self._compactor = None
+            conn = self._conn
+            self._conn = None
+            if conn is not None:
+                try:
+                    conn.close()
+                except sqlite3.Error:
+                    pass
+
+    def _compact_loop(self, interval: float) -> None:
+        while not self._compact_stop.wait(interval):
+            self.compact()
+
+    # -- connection / schema ----------------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(
+            self.path,
+            timeout=self.busy_timeout,
+            check_same_thread=False,
+            isolation_level=None,  # explicit BEGIN/COMMIT below
+        )
+        conn.execute(f"PRAGMA busy_timeout={int(self.busy_timeout * 1000)}")
+        conn.execute("PRAGMA journal_mode=WAL")
+        # WAL + NORMAL: a commit is durable against process crash (the
+        # fault-injection model here); an OS crash can lose the tail of
+        # the WAL but never corrupts committed pages
+        conn.execute("PRAGMA synchronous=NORMAL")
+        return conn
+
+    def _open(self) -> "tuple[Optional[sqlite3.Connection], bool]":
+        """Open-or-rebuild; called from ``__init__`` only (no lock yet).
+
+        Returns ``(connection_or_None, rebuilt)``; never writes
+        instance state itself so the lock-discipline rule stays
+        trivially satisfied.
+        """
+        try:
+            conn = self._connect()
+        except sqlite3.Error as exc:
+            return self._rebuild(None, f"cannot open: {exc}"), True
+        try:
+            self._verify_or_init(conn)
+            return conn, False
+        except (_StoreRejected, sqlite3.Error) as exc:
+            return self._rebuild(conn, str(exc)), True
+
+    def _verify_or_init(self, conn: sqlite3.Connection) -> None:
+        """Validate an existing file or initialize a fresh one.
+
+        Raises :class:`_StoreRejected` (version/format trouble) or
+        ``sqlite3.Error`` (corruption) for :meth:`_open` to translate
+        into a quarantine-and-rebuild.
+        """
+        check = conn.execute("PRAGMA quick_check").fetchone()
+        if check is None or check[0] != "ok":
+            raise _StoreRejected(f"integrity check failed: {check!r}")
+        tables = {
+            row[0]
+            for row in conn.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table'"
+            )
+        }
+        if not tables:
+            self._init_schema(conn)
+            return
+        if "meta" not in tables or "entries" not in tables:
+            raise _StoreRejected(
+                f"not a plan-store database (tables: {sorted(tables)})"
+            )
+        header = {
+            META_FORMAT: STORE_FORMAT_NAME,
+            META_SCHEMA_VERSION: str(STORE_SCHEMA_VERSION),
+            META_KEY_VERSION: str(KEY_VERSION),
+        }
+        for key, expected in header.items():
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key = ?", (key,)
+            ).fetchone()
+            actual = row[0] if row else None
+            if actual != expected:
+                raise _StoreRejected(
+                    f"store {key} {actual!r} != supported {expected!r}; "
+                    "entries from other semantics must never be served"
+                )
+
+    def _init_schema(self, conn: sqlite3.Connection) -> None:
+        conn.execute("BEGIN IMMEDIATE")
+        for statement in CREATE_STATEMENTS:
+            conn.execute(statement)
+        defaults = {
+            META_FORMAT: STORE_FORMAT_NAME,
+            META_SCHEMA_VERSION: str(STORE_SCHEMA_VERSION),
+            META_KEY_VERSION: str(KEY_VERSION),
+            META_EPOCH: "0",
+            META_SEQ: "0",
+        }
+        if self._capacity is not None:
+            defaults[META_CAPACITY] = str(self._capacity)
+        for key, value in defaults.items():
+            conn.execute(
+                "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+                (key, value),
+            )
+        conn.execute("COMMIT")
+
+    def _rebuild(
+        self, conn: Optional[sqlite3.Connection], reason: str
+    ) -> Optional[sqlite3.Connection]:
+        """Quarantine the file and start cold; ``None`` if even that fails.
+
+        The damaged file is renamed to ``<path>.corrupt`` (last one
+        wins — it exists for post-mortems, not as an archive) together
+        with its ``-wal``/``-shm`` sidecars, so the evidence survives
+        while the serving path continues on a fresh store.
+        """
+        if conn is not None:
+            try:
+                conn.close()
+            except sqlite3.Error:
+                pass
+        quarantine = self.path + ".corrupt"
+        try:
+            if os.path.exists(self.path):
+                os.replace(self.path, quarantine)
+            for sidecar in (self.path + "-wal", self.path + "-shm"):
+                if os.path.exists(sidecar):
+                    os.replace(sidecar, quarantine + sidecar[len(self.path):])
+        except OSError:
+            pass
+        _warn(
+            f"plan store {self.path!r} unusable ({reason}); quarantined "
+            f"to {quarantine!r} and starting cold"
+        )
+        try:
+            fresh = self._connect()
+            self._init_schema(fresh)
+            return fresh
+        except sqlite3.Error as exc:
+            _warn(
+                f"plan store {self.path!r} could not be rebuilt ({exc}); "
+                "persistence is disabled for this process"
+            )
+            return None
+
+    def _rebuild_locked(self, reason: str) -> None:
+        """Mid-run corruption recovery.
+
+        Only ever called with ``self._lock`` held; the lock-discipline
+        check is lexical, hence the inline waivers.
+        """
+        self._conn = self._rebuild(self._conn, reason)  # repro: ignore[lock-discipline]
+        # nothing of the attached cache has reached the fresh file
+        self._cursor = 0  # repro: ignore[lock-discipline]
+        self._cache_epoch = None  # repro: ignore[lock-discipline]
+        self.rebuilds += 1  # repro: ignore[lock-discipline]
+
+    # -- meta helpers (caller holds the lock and a transaction) -----------
+
+    @staticmethod
+    def _meta_int(conn: sqlite3.Connection, key: str, default: int = 0) -> int:
+        row = conn.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            return default
+        try:
+            return int(row[0])
+        except ValueError:
+            return default
+
+    @staticmethod
+    def _meta_set(conn: sqlite3.Connection, key: str, value: int) -> None:
+        conn.execute(
+            "INSERT INTO meta (key, value) VALUES (?, ?) "
+            "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+            (key, str(value)),
+        )
+
+    # -- writing ----------------------------------------------------------
+
+    def sync_from(self, cache: PlanCache, force: bool = False) -> int:
+        """Persist everything ``cache`` wrote since the last sync.
+
+        The incremental autosave primitive: one
+        :meth:`~repro.cache.plan_cache.PlanCache.sync_since` call under
+        the cache's lock yields the delta, one ``BEGIN IMMEDIATE``
+        transaction upserts exactly those rows (plus inline TTL/budget
+        compaction) — O(delta), never O(cache).  A clean cache skips
+        the transaction entirely unless ``force`` is set.
+
+        A different cache object than last time resets the cursor to 0
+        (full first sync); a cache epoch that moved since the last sync
+        bumps the *store* epoch so older rows become stale.  Returns
+        the number of entry rows written; failures warn and return 0.
+        """
+        with self._lock:
+            if self._conn is None:
+                return 0
+            if self._cache_id != id(cache):
+                self._cache_id = id(cache)
+                self._cursor = 0
+                self._cache_epoch = None
+            delta = cache.sync_since(self._cursor)
+            known_epoch = (
+                self._cache_epoch if self._cache_epoch is not None else 0
+            )
+            if delta.empty and delta.epoch == known_epoch and not force:
+                self.skipped_syncs += 1
+                return 0
+            status, detail, written, expired, stale, evicted = (
+                self._write_rows(
+                    _delta_rows(delta),
+                    capacity=cache.capacity,
+                    bump_epoch=delta.epoch != known_epoch,
+                )
+            )
+            if status == "ok":
+                self.rows_written += written
+                self.rows_expired += expired
+                self.rows_stale_dropped += stale
+                self.rows_evicted += evicted
+                self.syncs += 1
+                self._cursor = delta.now
+                self._cache_epoch = delta.epoch
+                return written
+            # the cursor is NOT advanced: the next sync retries the
+            # same delta (plus anything newer)
+            self.failed_syncs += 1
+            if status == "corrupt":
+                self._rebuild_locked(detail)
+            return 0
+
+    def _write_rows(
+        self, rows: "list[tuple[str, str, Optional[str], Optional[float]]]",
+        capacity: Optional[int],
+        bump_epoch: bool,
+    ) -> "tuple[str, str, int, int, int, int]":
+        """One write transaction (caller holds the lock).
+
+        Returns ``(status, detail, written, expired, stale, evicted)``
+        with ``status`` one of ``"ok"`` / ``"failed"`` (transient:
+        disk full, contention — the file stays healthy) / ``"corrupt"``
+        (the caller must :meth:`_rebuild_locked` with ``detail``).
+        Writes no instance state itself — the caller owns the counters,
+        keeping every mutation lexically under ``with self._lock``.
+        """
+        conn = self._conn
+        assert conn is not None
+        now = time.time()
+        try:
+            conn.execute("BEGIN IMMEDIATE")
+            epoch = self._meta_int(conn, META_EPOCH)
+            seq = self._meta_int(conn, META_SEQ)
+            if bump_epoch:
+                epoch += 1
+            written = 0
+            expires = now + self.ttl if self.ttl is not None else None
+            for key_repr, recipe_repr, structure, cost in rows:
+                seq += 1
+                conn.execute(
+                    "INSERT INTO entries (key, recipe, epoch, structure,"
+                    " cost, size, seq, created_at, expires_at)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)"
+                    " ON CONFLICT(key) DO UPDATE SET"
+                    " recipe = excluded.recipe, epoch = excluded.epoch,"
+                    " structure = excluded.structure, cost = excluded.cost,"
+                    " size = excluded.size, seq = excluded.seq,"
+                    " created_at = excluded.created_at,"
+                    " expires_at = excluded.expires_at",
+                    (
+                        key_repr, recipe_repr, epoch, structure, cost,
+                        entry_size(key_repr, recipe_repr, structure),
+                        seq, now, expires,
+                    ),
+                )
+                written += 1
+            self._meta_set(conn, META_EPOCH, epoch)
+            self._meta_set(conn, META_SEQ, seq)
+            if capacity is not None:
+                self._meta_set(conn, META_CAPACITY, capacity)
+            expired, stale, evicted = self._compact_in_txn(conn, now, epoch)
+            conn.execute("COMMIT")
+        except sqlite3.OperationalError as exc:
+            # disk full / lock contention past busy_timeout: the file
+            # stays healthy, this delta just did not land
+            self._rollback(conn)
+            _warn(f"plan-store sync to {self.path!r} failed: {exc}")
+            return "failed", str(exc), 0, 0, 0, 0
+        except sqlite3.DatabaseError as exc:
+            # corruption detected mid-run: quarantine and start cold
+            self._rollback(conn)
+            return "corrupt", f"write failed: {exc}", 0, 0, 0, 0
+        except sqlite3.Error as exc:
+            self._rollback(conn)
+            _warn(f"plan-store sync to {self.path!r} failed: {exc}")
+            return "failed", str(exc), 0, 0, 0, 0
+        return "ok", "", written, expired, stale, evicted
+
+    @staticmethod
+    def _rollback(conn: sqlite3.Connection) -> None:
+        try:
+            conn.execute("ROLLBACK")
+        except sqlite3.Error:
+            pass
+
+    # -- compaction -------------------------------------------------------
+
+    def _compact_in_txn(
+        self, conn: sqlite3.Connection, now: float, epoch: int
+    ) -> "tuple[int, int, int]":
+        """TTL + stale-epoch + size-budget sweep inside an open txn.
+
+        Returns ``(expired, stale, evicted)`` row counts.  Eviction is
+        LRU-first: lowest write ``seq`` goes first, exactly the order
+        :meth:`load` would absorb (and the in-memory LRU would evict).
+        """
+        cursor = conn.execute(
+            "DELETE FROM entries"
+            " WHERE expires_at IS NOT NULL AND expires_at <= ?",
+            (now,),
+        )
+        expired = cursor.rowcount
+        cursor = conn.execute(
+            "DELETE FROM entries WHERE epoch != ?", (epoch,)
+        )
+        stale = cursor.rowcount
+        evicted = 0
+        if self.size_budget is not None:
+            row = conn.execute(
+                "SELECT COALESCE(SUM(size), 0) FROM entries"
+            ).fetchone()
+            total = int(row[0])
+            if total > self.size_budget:
+                for key, size in conn.execute(
+                    "SELECT key, size FROM entries ORDER BY seq ASC"
+                ).fetchall():
+                    if total <= self.size_budget:
+                        break
+                    conn.execute(
+                        "DELETE FROM entries WHERE key = ?", (key,)
+                    )
+                    total -= int(size)
+                    evicted += 1
+        return expired, stale, evicted
+
+    def compact(
+        self, now: Optional[float] = None, vacuum: bool = False
+    ) -> "dict[str, int]":
+        """Run one TTL / stale-epoch / size-budget sweep now.
+
+        ``now`` overrides the wall clock (tests pin expiry
+        deterministically); ``vacuum=True`` additionally runs SQLite
+        ``VACUUM`` after the sweep to return freed pages to the
+        filesystem.  Returns the removed-row counts; failures warn and
+        return zeros.
+        """
+        with self._lock:
+            if self._conn is None:
+                return {"expired": 0, "stale": 0, "evicted": 0}
+            conn = self._conn
+            moment = time.time() if now is None else now
+            try:
+                conn.execute("BEGIN IMMEDIATE")
+                epoch = self._meta_int(conn, META_EPOCH)
+                expired, stale, evicted = self._compact_in_txn(
+                    conn, moment, epoch
+                )
+                conn.execute("COMMIT")
+                if vacuum:
+                    conn.execute("VACUUM")
+            except sqlite3.DatabaseError as exc:
+                self._rollback(conn)
+                self._rebuild_locked(f"compaction failed: {exc}")
+                return {"expired": 0, "stale": 0, "evicted": 0}
+            except sqlite3.Error as exc:
+                self._rollback(conn)
+                _warn(f"plan-store compaction of {self.path!r} failed: {exc}")
+                return {"expired": 0, "stale": 0, "evicted": 0}
+            self.rows_expired += expired
+            self.rows_stale_dropped += stale
+            self.rows_evicted += evicted
+            return {"expired": expired, "stale": stale, "evicted": evicted}
+
+    # -- reading ----------------------------------------------------------
+
+    def _fresh_rows(
+        self, conn: sqlite3.Connection, now: float
+    ) -> "list[tuple[str, str, Optional[str], Optional[float]]]":
+        """Servable rows (current epoch, unexpired), LRU-first."""
+        epoch = self._meta_int(conn, META_EPOCH)
+        return conn.execute(
+            "SELECT key, recipe, structure, cost FROM entries"
+            " WHERE epoch = ?"
+            " AND (expires_at IS NULL OR expires_at > ?)"
+            " ORDER BY seq ASC",
+            (epoch, now),
+        ).fetchall()
+
+    def load(self, capacity: Optional[int] = None) -> PlanCache:
+        """Rebuild a warm :class:`PlanCache` from the store.
+
+        Only rows at the current store epoch and within TTL are
+        absorbed, LRU-first (the same rules the JSON loader applies);
+        unparsable or foreign rows are skipped with a warning.  The
+        returned cache is *attached*: its current state counts as
+        already persisted, so a restarted server's first all-hits batch
+        triggers no write.  Never raises — any trouble degrades to a
+        cold cache.
+        """
+        with self._lock:
+            capacity = capacity if capacity is not None else self._capacity
+            if self._conn is None:
+                return PlanCache(capacity) if capacity else PlanCache()
+            conn = self._conn
+            try:
+                if capacity is None:
+                    capacity = self._meta_int(conn, META_CAPACITY, 0) or None
+                rows = self._fresh_rows(conn, time.time())
+            except sqlite3.DatabaseError as exc:
+                self._rebuild_locked(f"load failed: {exc}")
+                return PlanCache(capacity) if capacity else PlanCache()
+            except sqlite3.Error as exc:
+                _warn(f"plan-store load from {self.path!r} failed: {exc}")
+                return PlanCache(capacity) if capacity else PlanCache()
+            items = []
+            skipped = 0
+            for key_repr, recipe_repr, structure, cost in rows:
+                parsed = _parse_row(key_repr, recipe_repr)
+                if parsed is None:
+                    skipped += 1
+                    continue
+                key, recipe = parsed
+                items.append((key, recipe, structure, cost))
+            if skipped:
+                self.load_skipped += skipped
+                _warn(
+                    f"plan-store load skipped {skipped} unparsable or "
+                    f"foreign entr{'y' if skipped == 1 else 'ies'}"
+                )
+            cache = PlanCache(capacity) if capacity else PlanCache()
+            cache.absorb(items)
+            # attach: the loaded content IS the persisted content
+            self._cache_id = id(cache)
+            self._cursor = cache.mutations
+            self._cache_epoch = cache.epoch
+            return cache
+
+    def entry_count(self, fresh_only: bool = True) -> int:
+        """Number of rows (servable ones by default; 0 on trouble)."""
+        with self._lock:
+            if self._conn is None:
+                return 0
+            try:
+                if fresh_only:
+                    return len(self._fresh_rows(self._conn, time.time()))
+                row = self._conn.execute(
+                    "SELECT COUNT(*) FROM entries"
+                ).fetchone()
+                return int(row[0])
+            except sqlite3.Error:
+                return 0
+
+    # -- JSON interchange --------------------------------------------------
+
+    def export_document(self) -> dict:
+        """Snapshot the servable rows as a :mod:`repro.cache.persist`
+        JSON document (the interchange format).
+
+        The document round-trips: ``persist.restore_document`` /
+        ``persist.save`` consumers see exactly what :meth:`load` would
+        absorb, stamped with the store's epoch and write sequence.
+        """
+        with self._lock:
+            entries = []
+            epoch = 0
+            seq = 0
+            capacity = self._capacity or 0
+            if self._conn is not None:
+                try:
+                    conn = self._conn
+                    epoch = self._meta_int(conn, META_EPOCH)
+                    seq = self._meta_int(conn, META_SEQ)
+                    capacity = self._meta_int(
+                        conn, META_CAPACITY, capacity
+                    )
+                    for key_repr, recipe_repr, structure, cost in (
+                        self._fresh_rows(conn, time.time())
+                    ):
+                        entries.append({
+                            "key": key_repr,
+                            "recipe": recipe_repr,
+                            "epoch": epoch,
+                            "structure": structure,
+                            "cost": cost,
+                        })
+                except sqlite3.Error as exc:
+                    _warn(
+                        f"plan-store export from {self.path!r} failed: {exc}"
+                    )
+                    entries = []
+            return {
+                "format": persist.FORMAT_NAME,
+                "format_version": persist.FORMAT_VERSION,
+                "key_version": KEY_VERSION,
+                "epoch": epoch,
+                "mutations": seq,
+                "capacity": capacity,
+                "entries": entries,
+            }
+
+    def import_document(self, document: Any) -> int:
+        """Merge a JSON document (``persist`` format) into the store.
+
+        The migration path from the legacy file format: entries are
+        validated by the document loader's rules (bad documents warn
+        and import nothing), then upserted at the *current* store epoch
+        in one transaction.  Returns the number of rows written.
+        """
+        cache = persist.restore_document(document)
+        snapshot = cache.snapshot_entries()
+        rows = []
+        for key, entry in snapshot:
+            key_repr = repr(key)
+            if is_process_scoped(key_repr):
+                continue
+            rows.append(
+                (key_repr, repr(entry.recipe), entry.structure, entry.cost)
+            )
+        with self._lock:
+            if self._conn is None:
+                return 0
+            status, detail, written, expired, stale, evicted = (
+                self._write_rows(rows, capacity=None, bump_epoch=False)
+            )
+            if status != "ok":
+                self.failed_syncs += 1
+                if status == "corrupt":
+                    self._rebuild_locked(detail)
+                return 0
+            self.rows_written += written
+            self.rows_expired += expired
+            self.rows_stale_dropped += stale
+            self.rows_evicted += evicted
+            return written
+
+    # -- introspection -----------------------------------------------------
+
+    def counters(self) -> dict:
+        """Snapshot of the store counters (JSON-friendly)."""
+        return {
+            "path": self.path,
+            "rows_written": self.rows_written,
+            "rows_expired": self.rows_expired,
+            "rows_evicted": self.rows_evicted,
+            "rows_stale_dropped": self.rows_stale_dropped,
+            "syncs": self.syncs,
+            "skipped_syncs": self.skipped_syncs,
+            "failed_syncs": self.failed_syncs,
+            "rebuilds": self.rebuilds,
+            "load_skipped": self.load_skipped,
+            "ttl": self.ttl,
+            "size_budget": self.size_budget,
+            "entries": self.entry_count(fresh_only=False),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"PlanStore(path={self.path!r})"
+
+
+# -- delta / row helpers ------------------------------------------------------
+
+
+def _delta_rows(
+    delta: CacheDelta,
+) -> "list[tuple[str, str, Optional[str], Optional[float]]]":
+    """Serialize a delta's entries to store rows (repr text, no pickle).
+
+    Process-scoped keys are dropped here — their identity tokens mean
+    nothing in another process lifetime, the same exclusion
+    ``persist.save_document`` applies.
+    """
+    rows = []
+    for _mutation_id, key, recipe, structure, cost in delta.entries:
+        key_repr = repr(key)
+        if is_process_scoped(key_repr):
+            continue
+        rows.append((key_repr, repr(recipe), structure, cost))
+    return rows
+
+
+def _parse_row(
+    key_repr: str, recipe_repr: str
+) -> "Optional[tuple[Any, Any]]":
+    """``repr`` → value for one row; ``None`` when unusable.
+
+    The same acceptance rules as the JSON loader: ``ast.literal_eval``
+    only (never pickle), the key must be a non-empty tuple opening with
+    the current :data:`KEY_VERSION`, and process-scoped keys from a
+    foreign lifetime are dropped.
+    """
+    if is_process_scoped(key_repr):
+        return None
+    try:
+        key = ast.literal_eval(key_repr)
+        recipe = ast.literal_eval(recipe_repr)
+    except (TypeError, ValueError, SyntaxError, MemoryError,
+            RecursionError):
+        return None
+    if not isinstance(key, tuple) or not key or key[0] != KEY_VERSION:
+        return None
+    return key, recipe
+
+
+# -- persister facade ---------------------------------------------------------
+
+
+class StorePersister:
+    """The :class:`PlanStore`-backed side of the persister facade."""
+
+    kind = "store"
+
+    def __init__(
+        self,
+        path: str,
+        capacity: Optional[int] = None,
+        ttl: Optional[float] = None,
+        size_budget: Optional[int] = None,
+        compact_interval: Optional[float] = None,
+    ) -> None:
+        self.path = path
+        self.store = PlanStore(
+            path,
+            capacity=capacity,
+            ttl=ttl,
+            size_budget=size_budget,
+            compact_interval=compact_interval,
+        )
+
+    def load(self) -> PlanCache:
+        return self.store.load()
+
+    def sync(self, cache: PlanCache, force: bool = False) -> int:
+        return self.store.sync_from(cache, force=force)
+
+    def close(self) -> None:
+        self.store.close()
+
+
+#: what :func:`open_persister` returns — either backend, one interface
+CachePersister = Union[StorePersister, "persist.DocumentPersister"]
+
+
+def open_persister(
+    path: str,
+    capacity: Optional[int] = None,
+    ttl: Optional[float] = None,
+    size_budget: Optional[int] = None,
+    compact_interval: Optional[float] = None,
+) -> CachePersister:
+    """Open the persistence backend ``path`` selects.
+
+    ``.sqlite`` / ``.sqlite3`` / ``.db`` extensions get the
+    incremental :class:`PlanStore`; everything else keeps the JSON
+    document (:class:`~repro.cache.persist.DocumentPersister`), which
+    ignores the TTL/budget knobs with a warning since the document
+    format has no per-entry retention.
+
+    Both backends expose the same three calls — ``load()``,
+    ``sync(cache, force=False)`` and ``close()`` — and both key their
+    change detection off the cache's mutation cursor, so callers
+    (optimizer autosave, the serving daemon) are backend-agnostic.
+    """
+    if is_store_path(path):
+        return StorePersister(
+            path,
+            capacity=capacity,
+            ttl=ttl,
+            size_budget=size_budget,
+            compact_interval=compact_interval,
+        )
+    if ttl is not None or size_budget is not None:
+        _warn(
+            f"cache_ttl/cache_size_budget are ignored by the JSON "
+            f"document backend ({path!r}); use a .sqlite cache_path"
+        )
+    return persist.DocumentPersister(path, capacity=capacity)

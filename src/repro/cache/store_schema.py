@@ -1,0 +1,104 @@
+"""Relational schema of the embedded SQLite plan store.
+
+One place for the DDL and the metadata-key vocabulary of
+:class:`~repro.cache.store.PlanStore`, so the schema can be read (and
+diffed) without wading through the store's concurrency machinery.
+
+Two tables:
+
+``meta``
+    One row per bookkeeping datum (``key`` / ``value``, both text).
+    Carries the same compatibility header the JSON document format
+    uses — ``format`` marker, store layout version, the
+    :data:`~repro.cache.keys.KEY_VERSION` every entry key was built
+    under — plus the store's statistics ``epoch``, the monotone write
+    sequence counter ``seq``, and the last attached cache's LRU
+    ``capacity``.  A mismatch on any compatibility field degrades to a
+    cold store (the file is rebuilt), mirroring the persistence
+    layer's whole-file rejection.
+
+``entries``
+    One row per cached plan, keyed by the ``repr`` of the cache key
+    (the same ``repr``/``ast.literal_eval`` round-trip as the JSON
+    document — never pickle).  ``epoch`` stamps the store epoch the
+    entry was fresh under; rows whose epoch is not the current meta
+    epoch are stale and skipped on load.  ``seq`` is the row's write
+    sequence (recency order for LRU compaction and load ordering),
+    ``size`` the serialized byte footprint the size budget accounts,
+    and ``expires_at`` the absolute expiry time (NULL = no TTL).
+
+The store appends/upserts per mutation — O(delta) rows per autosave —
+which is why the layout is row-per-entry rather than one JSON blob:
+the blob would re-serialize the world on every save, the exact wrong
+shape the store replaces.
+"""
+
+from __future__ import annotations
+
+#: magic marker distinguishing plan-store databases from arbitrary
+#: SQLite files (stored in ``meta``; analogous to
+#: :data:`repro.cache.persist.FORMAT_NAME`)
+STORE_FORMAT_NAME = "repro-plan-store"
+
+#: bump when the *store* layout changes incompatibly (independent of
+#: KEY_VERSION, which tracks key/recipe semantics, and of the JSON
+#: document's FORMAT_VERSION)
+STORE_SCHEMA_VERSION = 1
+
+#: ``meta`` keys making up the compatibility header; a missing or
+#: mismatched value rejects the whole file (cold rebuild + warning)
+META_FORMAT = "format"
+META_SCHEMA_VERSION = "schema_version"
+META_KEY_VERSION = "key_version"
+
+#: ``meta`` keys for mutable store state
+META_EPOCH = "epoch"
+META_SEQ = "seq"
+META_CAPACITY = "capacity"
+
+#: DDL executed (idempotently) when a store file is created or opened
+CREATE_STATEMENTS: "tuple[str, ...]" = (
+    """
+    CREATE TABLE IF NOT EXISTS meta (
+        key   TEXT PRIMARY KEY,
+        value TEXT NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS entries (
+        key        TEXT PRIMARY KEY,
+        recipe     TEXT NOT NULL,
+        epoch      INTEGER NOT NULL,
+        structure  TEXT,
+        cost       REAL,
+        size       INTEGER NOT NULL,
+        seq        INTEGER NOT NULL,
+        created_at REAL NOT NULL,
+        expires_at REAL
+    )
+    """,
+    # recency order: load ordering and LRU-end selection for the
+    # size-budget compactor
+    "CREATE INDEX IF NOT EXISTS entries_seq ON entries (seq)",
+    # TTL sweep: the compactor deletes by expiry without a full scan
+    "CREATE INDEX IF NOT EXISTS entries_expires ON entries (expires_at)"
+    " WHERE expires_at IS NOT NULL",
+)
+
+
+def entry_size(key_repr: str, recipe_repr: str, structure: "str | None") -> int:
+    """Byte footprint one entry row charges against the size budget.
+
+    Serialized text lengths plus a flat per-row overhead approximating
+    SQLite's record/index cost.  Deliberately an *estimate*: the
+    budget bounds growth and drives LRU eviction order; it is not an
+    exact ``du`` of the file (WAL and page slack make that moving
+    target meaningless to account per row).
+    """
+    overhead = 64
+    return (
+        len(key_repr)
+        + len(recipe_repr)
+        + (len(structure) if structure else 0)
+        + overhead
+    )

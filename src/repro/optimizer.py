@@ -57,6 +57,7 @@ from .cache import (
 )
 from .cache import persist
 from .cache.persist import CachePersistenceWarning
+from .cache.store import PlanStore, is_store_path, open_persister
 from .core.dphyp import DPhyp, solve_dphyp
 from .core.hypergraph import (
     DisconnectedGraphError,
@@ -658,6 +659,16 @@ class OptimizerConfig:
         cache_autosave: autosave the cache to ``cache_path`` at the
             end of each ``optimize_many`` batch (default on; explicit
             :meth:`Optimizer.save_cache` always works).
+        cache_ttl: per-entry time-to-live in seconds for the SQLite
+            store backend — persisted entries expire this long after
+            their last write and are swept by compaction.  ``None``
+            (default) keeps entries until evicted by the size budget.
+            Ignored (with a warning) by the JSON document backend,
+            which has no per-entry retention.
+        cache_size_budget: on-disk size budget in bytes for the SQLite
+            store backend; when the store outgrows it, least recently
+            written entries are evicted first.  ``None`` (default) =
+            unbounded.  Ignored (with a warning) by the JSON backend.
         cache_namespace: optional label folded into every cache key.
             Optimizers (or serving clients — see ``docs/serving.md``)
             with different namespaces never serve each other's entries
@@ -693,6 +704,8 @@ class OptimizerConfig:
     cache_size: int = DEFAULT_CAPACITY
     cache_path: Optional[str] = None
     cache_autosave: bool = True
+    cache_ttl: Optional[float] = None
+    cache_size_budget: Optional[int] = None
     cache_namespace: Optional[str] = None
     parallel_workers: Optional[int] = None
     executor: str = "thread"
@@ -716,6 +729,8 @@ class OptimizerConfig:
         "cache_size",
         "cache_path",
         "cache_autosave",
+        "cache_ttl",
+        "cache_size_budget",
         "parallel_workers",
         "executor",
         "pipeline",
@@ -743,6 +758,10 @@ class OptimizerConfig:
             )
         if self.cache_size < 1:
             raise ValueError("cache_size must be at least 1")
+        if self.cache_ttl is not None and self.cache_ttl <= 0:
+            raise ValueError("cache_ttl must be None or > 0 seconds")
+        if self.cache_size_budget is not None and self.cache_size_budget < 1:
+            raise ValueError("cache_size_budget must be None or >= 1 bytes")
         if self.parallel_workers is not None and self.parallel_workers < 1:
             raise ValueError("parallel_workers must be None or >= 1")
         if self.executor not in ("thread", "process"):
@@ -931,9 +950,29 @@ class Optimizer:
         self.config = config
         self._plan_cache = plan_cache
         self._plan_cache_lock = threading.Lock()
-        #: (cache id, mutation count) at the last (auto)save; lets a
-        #: fully-warm serving loop skip rewriting an unchanged file
-        self._autosave_marker: Optional[tuple] = None
+        #: lazily-opened persistence backend for ``cache_path`` —
+        #: SQLite :class:`~repro.cache.store.PlanStore` for ``.sqlite``
+        #: paths, the JSON document otherwise; both track the cache's
+        #: mutation cursor so clean batches skip all I/O
+        self._cache_persister: Optional[Any] = None
+
+    def _persister(self) -> Any:
+        """The ``cache_path`` backend, opened on first use.
+
+        Callers guarantee ``config.cache_path`` is set.  Also reached
+        with an *injected* cache (``Optimizer(plan_cache=...)``), in
+        which case the backend attaches to it on the first sync
+        (cursor 0 = full first write, deltas afterwards).
+        """
+        with self._plan_cache_lock:
+            if self._cache_persister is None:
+                self._cache_persister = open_persister(
+                    self.config.cache_path,  # type: ignore[arg-type]
+                    capacity=self.config.cache_size,
+                    ttl=self.config.cache_ttl,
+                    size_budget=self.config.cache_size_budget,
+                )
+            return self._cache_persister
 
     @property
     def plan_cache(self) -> PlanCache:
@@ -949,14 +988,18 @@ class Optimizer:
                 if self._plan_cache is None:
                     path = self.config.cache_path
                     if path is not None:
-                        cache = persist.load(
-                            path, capacity=self.config.cache_size
-                        )
-                        # the loaded content IS the file content: the
-                        # first batch after a warm restart must not
-                        # rewrite an identical file
-                        self._autosave_marker = (id(cache), cache.mutations)
-                        self._plan_cache = cache
+                        if self._cache_persister is None:
+                            self._cache_persister = open_persister(
+                                path,
+                                capacity=self.config.cache_size,
+                                ttl=self.config.cache_ttl,
+                                size_budget=self.config.cache_size_budget,
+                            )
+                        # load() attaches the cache to the backend:
+                        # the loaded content IS the persisted content,
+                        # so the first batch after a warm restart does
+                        # not rewrite an identical file
+                        self._plan_cache = self._cache_persister.load()
                     else:
                         self._plan_cache = PlanCache(self.config.cache_size)
         return self._plan_cache
@@ -964,9 +1007,12 @@ class Optimizer:
     def save_cache(self, path: Optional[str] = None) -> int:
         """Persist the plan cache now; return the entry count written.
 
-        ``path`` defaults to ``OptimizerConfig.cache_path``.  Batches
-        already autosave (``cache_autosave``); call this for explicit
-        checkpoints or ad-hoc paths.
+        ``path`` defaults to ``OptimizerConfig.cache_path``, in which
+        case the write goes through the incremental backend (only the
+        delta since the last save is serialized).  An ad-hoc ``path``
+        is a one-shot full export in whichever format its extension
+        selects.  Batches already autosave (``cache_autosave``); call
+        this for explicit checkpoints or ad-hoc paths.
         """
         path = path if path is not None else self.config.cache_path
         if path is None:
@@ -975,15 +1021,12 @@ class Optimizer:
                 "OptimizerConfig(cache_path=...)"
             )
         cache = self.plan_cache
-        # dump_document snapshots entries and the mutations counter
-        # under one lock acquisition, so the marker is exactly the
-        # content state written — a store() racing this save bumps
-        # mutations past the marker and the next autosave catches it
-        document = persist.dump_document(cache)
-        written = persist.save_document(document, path)
         if path == self.config.cache_path:
-            self._autosave_marker = (id(cache), document["mutations"])
-        return written
+            return self._persister().sync(cache, force=True)
+        if is_store_path(path):
+            with PlanStore(path, capacity=cache.capacity) as store:
+                return store.sync_from(cache, force=True)
+        return persist.save_document(persist.dump_document(cache), path)
 
     def _autosave(self, cache: Optional[PlanCache]) -> None:
         """Best-effort batch-end autosave (never fails the batch).
@@ -991,16 +1034,11 @@ class Optimizer:
         Skipped entirely when the cache content has not changed since
         the last save — a fully-warm serving loop does pure lookups,
         which never bump ``PlanCache.mutations``, so steady state pays
-        no serialization or disk I/O.
-
-        Change detection and snapshotting are both atomic:
-        :meth:`~repro.cache.plan_cache.PlanCache.sync_since` answers
-        "anything new since the marker?" under the cache lock (so a
-        concurrent ``store()`` or ``bump_epoch()`` is either fully
-        before the answer or caught by the next batch), and the saved
-        document carries the ``mutations`` stamp of exactly the entry
-        set it contains — the marker can never claim a state newer
-        than what reached disk.
+        no serialization or disk I/O.  A dirty cache persists only its
+        delta: both backends consume one atomic
+        :meth:`~repro.cache.plan_cache.PlanCache.sync_since` call, so
+        a batch that stored k new entries serializes O(k) entries (and
+        the SQLite store writes O(k) rows), never O(cache size).
         """
         if (
             cache is None
@@ -1008,17 +1046,8 @@ class Optimizer:
             or not self.config.cache_autosave
         ):
             return
-        marker = self._autosave_marker
-        if (
-            marker is not None
-            and marker[0] == id(cache)
-            and cache.sync_since(marker[1]).empty
-        ):
-            return
         try:
-            document = persist.dump_document(cache)
-            persist.save_document(document, self.config.cache_path)
-            self._autosave_marker = (id(cache), document["mutations"])
+            self._persister().sync(cache)
         except OSError as exc:
             warnings.warn(
                 f"plan-cache autosave to "

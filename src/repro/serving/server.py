@@ -37,8 +37,8 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import replace
 from typing import Any, Optional
 
-from ..cache import persist
 from ..cache.plan_cache import PlanCache
+from ..cache.store import open_persister
 from ..optimizer import OptimizationResult, Optimizer, OptimizerConfig
 from ..registry import snapshot_registrations
 from .protocol import (
@@ -110,14 +110,22 @@ class PlanServer:
         self.queue_limit = queue_limit
         self.debug_ops = debug_ops
         if config.cache_path is not None:
-            self.cache = persist.load(
-                config.cache_path, capacity=config.cache_size
+            #: persistence backend for ``cache_path`` — the SQLite
+            #: :class:`~repro.cache.store.PlanStore` for ``.sqlite``
+            #: paths (incremental row upserts, TTL/size-budget
+            #: compaction), the JSON document otherwise; ``load()``
+            #: attaches the cache so the just-loaded content counts as
+            #: already persisted
+            self._persister: Optional[Any] = open_persister(
+                config.cache_path,
+                capacity=config.cache_size,
+                ttl=config.cache_ttl,
+                size_budget=config.cache_size_budget,
             )
+            self.cache = self._persister.load()
         else:
+            self._persister = None
             self.cache = PlanCache(config.cache_size)
-        #: mutation stamp of the last state written to cache_path; the
-        #: just-loaded content IS the file content
-        self._saved_mutations = self.cache.mutations
         self._tracker = DeltaTracker(expected_workers=workers)
         self._lock = asyncio.Lock()
         self._optimizers: "dict[Optional[str], Optimizer]" = {}
@@ -222,26 +230,27 @@ class PlanServer:
         tasks = [task for task in doomed.values() if not task.done()]
         if tasks:
             await asyncio.wait(tasks, timeout=2.0)
+        if self._persister is not None:
+            # release the store's connection (and stop its background
+            # compactor, when one is running) after the final save
+            self._persister.close()
         self._stop_event.set()
         return {"ok": True, "drained": drained, "saved": saved}
 
     async def _save(self) -> Optional[int]:
         """Persist the shared cache to ``cache_path``, if configured.
 
-        Skips the write when nothing changed since the last save —
-        the same :meth:`~repro.cache.plan_cache.PlanCache.sync_since`
-        change detection the batch autosave uses.
+        Delegates to the persistence backend, which skips the write
+        when nothing changed since the last save (the same
+        :meth:`~repro.cache.plan_cache.PlanCache.sync_since` cursor the
+        worker warm-ups ride) and otherwise persists only the delta —
+        the SQLite store upserts O(new entries) rows even when the
+        cache holds thousands.
         """
-        path = self.config.cache_path
-        if path is None:
+        if self._persister is None:
             return None
         async with self._lock:
-            if self.cache.sync_since(self._saved_mutations).empty:
-                return 0
-            document = persist.dump_document(self.cache)
-            written = persist.save_document(document, path)
-            self._saved_mutations = document["mutations"]
-            return written
+            return self._persister.sync(self.cache)
 
     # -- connection handling ---------------------------------------------
 

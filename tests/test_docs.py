@@ -15,7 +15,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 def test_docs_exist():
     docs = REPO_ROOT / "docs"
     for name in ("architecture.md", "cache.md", "paper_map.md",
-                 "analysis.md", "kernel.md"):
+                 "analysis.md", "kernel.md", "store.md"):
         assert (docs / name).is_file(), f"docs/{name} is missing"
 
 

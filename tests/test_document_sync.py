@@ -1,0 +1,175 @@
+"""Incremental JSON autosave: O(k) serialization accounting.
+
+``dump_document`` re-serializes the whole cache on every save.  The
+:class:`~repro.cache.persist.DocumentSync` mirror replaces that on the
+autosave path: a save after a batch that added k entries serializes
+exactly k — asserted here via the ``serialized`` counter — while the
+produced document stays load-equivalent to a fresh ``dump_document``
+of the same cache state (same survivors, same LRU order, same epoch).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import DocumentPersister, DocumentSync, PlanCache, persist
+from repro.optimizer import Optimizer, OptimizerConfig
+from repro.workloads import generators
+from repro.workloads.repeated import repeated_workload
+
+
+def make_cache(entries=3, capacity=16) -> PlanCache:
+    cache = PlanCache(capacity)
+    for i in range(entries):
+        cache.store(
+            (1, f"digest-{i}", ("auto", "hyperedges", ("m", "q"), 14)),
+            (i, (0, 1)),
+            structure=f"bucket-{i % 2}",
+            cost=float(i),
+        )
+    return cache
+
+
+def load_equivalent(document, cache):
+    """The maintained document rebuilds exactly ``cache``."""
+    restored = persist.restore_document(document)
+    assert len(restored) == len(cache)
+    for key, entry in cache.snapshot_entries():
+        got, status = restored.probe(key)
+        assert status == "hit"
+        assert repr(got.recipe) == repr(entry.recipe)
+        assert got.structure == entry.structure
+        assert got.cost == entry.cost
+
+
+class TestDocumentSync:
+    def test_first_update_serializes_everything_once(self):
+        cache = make_cache(entries=5)
+        sync = DocumentSync()
+        assert sync.update(cache) is True
+        assert sync.serialized == 5
+        load_equivalent(sync.document(), cache)
+
+    def test_k_new_entries_serialize_exactly_k(self):
+        cache = make_cache(entries=50, capacity=64)
+        sync = DocumentSync()
+        sync.update(cache)
+        baseline = sync.serialized
+        for i in range(3):
+            cache.store(
+                (1, f"late-{i}", ("auto", "hyperedges", ("m", "q"), 14)),
+                (100 + i, (0, 1)),
+            )
+        assert sync.update(cache) is True
+        # O(k), not O(cache): 3 entries re-serialized, not 53
+        assert sync.serialized == baseline + 3
+        load_equivalent(sync.document(), cache)
+
+    def test_clean_cache_serializes_nothing(self):
+        cache = make_cache(entries=10)
+        sync = DocumentSync()
+        sync.update(cache)
+        baseline = sync.serialized
+        assert sync.update(cache) is False
+        assert sync.serialized == baseline
+
+    def test_eviction_reconciles_without_reserialization(self):
+        cache = make_cache(entries=4, capacity=4)
+        sync = DocumentSync()
+        sync.update(cache)
+        baseline = sync.serialized
+        # push one entry out of the LRU
+        cache.store(
+            (1, "evictor", ("auto", "hyperedges", ("m", "q"), 14)),
+            (99, (0, 1)),
+        )
+        assert sync.update(cache) is True
+        assert sync.serialized == baseline + 1  # only the newcomer
+        document = sync.document()
+        assert len(document["entries"]) == 4
+        load_equivalent(document, cache)
+
+    def test_epoch_bump_drops_stale_entries(self):
+        cache = make_cache(entries=3)
+        sync = DocumentSync()
+        sync.update(cache)
+        cache.bump_epoch()
+        cache.store(
+            (1, "fresh", ("auto", "hyperedges", ("m", "q"), 14)),
+            (42, (0, 1)),
+        )
+        sync.update(cache)
+        document = sync.document()
+        # stale-epoch entries are exactly what a loader would skip;
+        # the cache still holds them in memory, the document does not
+        assert len(document["entries"]) == 1
+        assert document["epoch"] == cache.epoch
+        restored = persist.restore_document(document)
+        assert len(restored) == 1
+        entry, status = restored.probe(
+            (1, "fresh", ("auto", "hyperedges", ("m", "q"), 14))
+        )
+        assert status == "hit" and entry.recipe == (42, (0, 1))
+
+    def test_matches_dump_document_semantics(self):
+        cache = make_cache(entries=6, capacity=8)
+        sync = DocumentSync()
+        sync.update(cache)
+        fresh = persist.dump_document(cache)
+        maintained = sync.document()
+        assert maintained["epoch"] == fresh["epoch"]
+        assert maintained["capacity"] == fresh["capacity"]
+        assert [e["key"] for e in maintained["entries"]] == [
+            e["key"] for e in fresh["entries"]
+        ]
+
+
+class TestDocumentPersister:
+    def test_load_primes_the_mirror(self, tmp_path):
+        path = str(tmp_path / "plans.json")
+        persist.save(make_cache(entries=5), path)
+        persister = DocumentPersister(path)
+        cache = persister.load()
+        assert persister.serialized == 5  # primed once, on load
+        # the warm cache is already persisted: no rewrite
+        assert persister.sync(cache) == 0
+        assert persister.serialized == 5
+
+    def test_autosave_after_k_entries_serializes_k(self, tmp_path):
+        """The acceptance criterion, end-to-end on the JSON backend."""
+        path = str(tmp_path / "plans.json")
+        config = OptimizerConfig(cache="on", cache_path=path)
+        optimizer = Optimizer(config)
+        optimizer.optimize_many(
+            repeated_workload(generators.chain(5, seed=9), 4, seed=3)
+        )
+        persister = optimizer._cache_persister
+        assert persister.kind == "document"
+        count = len(optimizer.plan_cache)
+        assert persister.serialized == count
+        # one genuinely new shape -> exactly one more serialization
+        optimizer.optimize_many(
+            repeated_workload(generators.star(4, seed=2), 1, seed=1)
+        )
+        assert persister.serialized == count + 1
+
+    def test_force_rewrites_even_when_clean(self, tmp_path):
+        path = str(tmp_path / "plans.json")
+        persister = DocumentPersister(path)
+        cache = make_cache(entries=2)
+        assert persister.sync(cache) == 2
+        assert persister.sync(cache) == 0
+        assert persister.sync(cache, force=True) == 2
+        assert persister.serialized == 2  # force rewrote, not re-repr'd
+
+    def test_file_content_tracks_the_cache(self, tmp_path):
+        path = str(tmp_path / "plans.json")
+        persister = DocumentPersister(path)
+        cache = make_cache(entries=3)
+        persister.sync(cache)
+        cache.store(
+            (1, "another", ("auto", "hyperedges", ("m", "q"), 14)),
+            (7, (0, 1)),
+        )
+        persister.sync(cache)
+        assert len(persist.load(path)) == 4

@@ -1,0 +1,530 @@
+"""Embedded SQLite plan store: round-trips, deltas, knobs, wiring.
+
+The contract under test (docs/store.md):
+
+* ``sync_from`` -> ``load`` reproduces the cache exactly (keys,
+  recipes, structures, costs, LRU order), across store re-opens;
+* syncs are **incremental**: a batch that adds k entries writes O(k)
+  rows, asserted both via the store's mutation-cursor accounting and
+  via raw SQLite ``total_changes``, and a clean cache opens no
+  transaction at all;
+* TTL expiry, the on-disk size budget, and epoch bumps bound what the
+  store retains (compaction removes exactly the right rows);
+* the ``meta`` compatibility header (format / schema version /
+  KEY_VERSION) rejects foreign or version-stale files with a
+  ``CachePersistenceWarning`` and a cold rebuild, never an exception;
+* ``export_document`` / ``import_document`` round-trip against the
+  JSON interchange format in :mod:`repro.cache.persist`;
+* ``OptimizerConfig(cache_path="plans.sqlite")`` selects the store
+  end-to-end (auto-load, incremental autosave, warm restart), and the
+  serving daemon saves through it on shutdown.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import time
+import warnings
+
+import pytest
+
+from repro.cache import (
+    KEY_VERSION,
+    CachePersistenceWarning,
+    PlanCache,
+    PlanStore,
+    is_store_path,
+    open_persister,
+    persist,
+)
+from repro.cache.store_schema import STORE_FORMAT_NAME, STORE_SCHEMA_VERSION
+from repro.optimizer import Optimizer, OptimizerConfig
+from repro.workloads import generators
+from repro.workloads.repeated import repeated_workload
+
+
+def make_cache(entries=3, capacity=16) -> PlanCache:
+    cache = PlanCache(capacity)
+    for i in range(entries):
+        cache.store(
+            (1, f"digest-{i}", ("auto", "hyperedges", ("m", "q"), 14)),
+            (i, (0, 1)),
+            structure=f"bucket-{i % 2}",
+            cost=float(i),
+        )
+    return cache
+
+
+def events_of(results):
+    return [r.stats.extra["plan_cache"]["event"] for r in results]
+
+
+def store_path(tmp_path) -> str:
+    return str(tmp_path / "plans.sqlite")
+
+
+class TestPathSelection:
+    def test_store_extensions(self):
+        assert is_store_path("plans.sqlite")
+        assert is_store_path("x/y/plans.sqlite3")
+        assert is_store_path("PLANS.DB")
+        assert not is_store_path("plans.json")
+        assert not is_store_path("plans")
+
+    def test_open_persister_picks_backends(self, tmp_path):
+        store = open_persister(store_path(tmp_path))
+        assert store.kind == "store"
+        store.close()
+        doc = open_persister(str(tmp_path / "plans.json"))
+        assert doc.kind == "document"
+        doc.close()
+
+    def test_json_backend_warns_on_retention_knobs(self, tmp_path):
+        with pytest.warns(CachePersistenceWarning, match="cache_ttl"):
+            open_persister(str(tmp_path / "plans.json"), ttl=60.0).close()
+
+
+class TestRoundTrip:
+    def test_sync_load_identical_entries(self, tmp_path):
+        cache = make_cache(entries=5)
+        with PlanStore(store_path(tmp_path)) as store:
+            assert store.sync_from(cache) == 5
+            loaded = store.load()
+        assert len(loaded) == 5
+        for key, entry in cache.snapshot_entries():
+            restored, status = loaded.probe(key)
+            assert status == "hit"
+            # byte-identical recipes: the repr round-trip is exact
+            assert repr(restored.recipe) == repr(entry.recipe)
+            assert restored.structure == entry.structure
+            assert restored.cost == entry.cost
+
+    def test_survives_store_reopen(self, tmp_path):
+        path = store_path(tmp_path)
+        cache = make_cache(entries=4)
+        with PlanStore(path) as store:
+            store.sync_from(cache)
+        with PlanStore(path) as store:
+            loaded = store.load()
+        assert len(loaded) == 4
+
+    def test_lru_order_preserved(self, tmp_path):
+        """Rows absorb LRU-first, so capacity trims the oldest."""
+        cache = make_cache(entries=6, capacity=16)
+        with PlanStore(store_path(tmp_path)) as store:
+            store.sync_from(cache)
+            small = store.load(capacity=2)
+        assert len(small) == 2
+        survivor, status = small.probe(
+            (1, "digest-5", ("auto", "hyperedges", ("m", "q"), 14))
+        )
+        assert status == "hit" and survivor.recipe == (5, (0, 1))
+
+    def test_load_attaches_no_rewrite_when_clean(self, tmp_path):
+        path = store_path(tmp_path)
+        with PlanStore(path) as store:
+            store.sync_from(make_cache(entries=3))
+        with PlanStore(path) as store:
+            loaded = store.load()
+            # the loaded content IS the persisted content
+            assert store.sync_from(loaded) == 0
+            assert store.skipped_syncs == 1
+            assert store.syncs == 0
+
+
+class TestIncrementalWrites:
+    def test_second_sync_writes_only_the_delta(self, tmp_path):
+        cache = make_cache(entries=50, capacity=64)
+        with PlanStore(store_path(tmp_path)) as store:
+            assert store.sync_from(cache) == 50
+            for i in range(3):
+                cache.store(
+                    (1, f"late-{i}", ("auto", "hyperedges", ("m", "q"), 14)),
+                    (100 + i, (0, 1)),
+                )
+            # mutation-cursor accounting: exactly k rows, not O(cache)
+            assert store.sync_from(cache) == 3
+            assert store.rows_written == 53
+
+    def test_total_changes_is_o_of_k(self, tmp_path):
+        """Raw SQLite accounting agrees with the cursor accounting."""
+        path = store_path(tmp_path)
+        cache = make_cache(entries=40, capacity=64)
+        with PlanStore(path) as store:
+            store.sync_from(cache)
+            conn = store._conn
+            before = conn.total_changes
+            cache.store(
+                (1, "one-more", ("auto", "hyperedges", ("m", "q"), 14)),
+                (999, (0, 1)),
+            )
+            store.sync_from(cache)
+            # 1 entry row + 2 meta rows (seq, capacity) + epoch row;
+            # far below the 40 a full rewrite would touch
+            assert conn.total_changes - before <= 6
+
+    def test_clean_cache_opens_no_transaction(self, tmp_path):
+        cache = make_cache(entries=10)
+        with PlanStore(store_path(tmp_path)) as store:
+            store.sync_from(cache)
+            conn = store._conn
+            before = conn.total_changes
+            assert store.sync_from(cache) == 0
+            assert conn.total_changes == before
+
+    def test_unsynced_mutations_retry_after_failure(self, tmp_path):
+        """A failed transaction does not advance the cursor."""
+        cache = make_cache(entries=3)
+        with PlanStore(store_path(tmp_path)) as store:
+            store.sync_from(cache)
+            # a row big enough to need fresh pages once the file is
+            # capped at its current size
+            cache.store(
+                (1, "pending", ("auto", "hyperedges", ("m", "q"), 14)),
+                (7, (0, 1)),
+                structure="x" * 262144,
+            )
+            # simulate a transient write failure: an aborted sync must
+            # leave the delta pending for the next one
+            store._conn.execute("PRAGMA max_page_count=1")
+            with pytest.warns(CachePersistenceWarning):
+                assert store.sync_from(cache) == 0
+            assert store.failed_syncs == 1
+            store._conn.execute("PRAGMA max_page_count=1073741823")
+            assert store.sync_from(cache) == 1
+
+
+class TestTTL:
+    def test_expired_entries_not_loaded(self, tmp_path):
+        with PlanStore(store_path(tmp_path), ttl=0.05) as store:
+            store.sync_from(make_cache(entries=3))
+            assert store.entry_count() == 3
+            time.sleep(0.08)
+            assert store.entry_count() == 0
+            assert len(store.load()) == 0
+
+    def test_compaction_sweeps_expired_rows(self, tmp_path):
+        with PlanStore(store_path(tmp_path), ttl=1000.0) as store:
+            store.sync_from(make_cache(entries=4))
+            swept = store.compact(now=time.time() + 2000.0)
+            assert swept["expired"] == 4
+            assert store.entry_count(fresh_only=False) == 0
+            assert store.rows_expired == 4
+
+    def test_refresh_extends_the_ttl(self, tmp_path):
+        cache = make_cache(entries=1)
+        with PlanStore(store_path(tmp_path), ttl=1000.0) as store:
+            store.sync_from(cache)
+            key = (1, "digest-0", ("auto", "hyperedges", ("m", "q"), 14))
+            cache.store(key, (0, (0, 1)))  # refresh the same key
+            store.sync_from(cache)
+            # the refresh moved created_at/expires_at forward
+            swept = store.compact(now=time.time() + 500.0)
+            assert swept["expired"] == 0
+
+    def test_background_compactor_runs(self, tmp_path):
+        with PlanStore(
+            store_path(tmp_path), ttl=0.01, compact_interval=0.02
+        ) as store:
+            store.sync_from(make_cache(entries=3))
+            deadline = time.time() + 5.0
+            while time.time() < deadline:
+                if store.entry_count(fresh_only=False) == 0:
+                    break
+                time.sleep(0.02)
+            assert store.entry_count(fresh_only=False) == 0
+            assert store.rows_expired == 3
+
+
+class TestSizeBudget:
+    def test_over_budget_evicts_lru_first(self, tmp_path):
+        cache = make_cache(entries=20)
+        # room for only a handful of ~100-byte rows
+        with PlanStore(store_path(tmp_path), size_budget=500) as store:
+            store.sync_from(cache)
+            remaining = store.load(capacity=32)
+            assert 0 < len(remaining) < 20
+            assert store.rows_evicted > 0
+            # the newest entry always survives
+            newest, status = remaining.probe(
+                (1, "digest-19", ("auto", "hyperedges", ("m", "q"), 14))
+            )
+            assert status == "hit" and newest.recipe == (19, (0, 1))
+            # the oldest went first
+            gone, status = remaining.probe(
+                (1, "digest-0", ("auto", "hyperedges", ("m", "q"), 14))
+            )
+            assert status == "miss"
+
+    def test_budget_keeps_file_usable(self, tmp_path):
+        """Continuous over-budget writing never errors out."""
+        with PlanStore(store_path(tmp_path), size_budget=400) as store:
+            cache = PlanCache(64)
+            for i in range(50):
+                cache.store(
+                    (1, f"flood-{i}", ("auto", "hyperedges", ("m", "q"), 14)),
+                    (i, (0, 1)),
+                )
+                store.sync_from(cache)
+            assert store.failed_syncs == 0
+            assert len(store.load(capacity=64)) >= 1
+
+
+class TestEpochs:
+    def test_bump_between_syncs_stales_old_rows(self, tmp_path):
+        cache = make_cache(entries=3)
+        with PlanStore(store_path(tmp_path)) as store:
+            store.sync_from(cache)
+            cache.bump_epoch()
+            cache.store(
+                (1, "fresh", ("auto", "hyperedges", ("m", "q"), 14)),
+                (42, (0, 1)),
+            )
+            store.sync_from(cache)
+            loaded = store.load()
+        assert len(loaded) == 1
+        entry, status = loaded.probe(
+            (1, "fresh", ("auto", "hyperedges", ("m", "q"), 14))
+        )
+        assert status == "hit" and entry.recipe == (42, (0, 1))
+
+    def test_bump_with_no_new_entries_still_persists(self, tmp_path):
+        """An epoch bump alone must not be skipped as 'unchanged'."""
+        cache = make_cache(entries=3)
+        with PlanStore(store_path(tmp_path)) as store:
+            store.sync_from(cache)
+            cache.bump_epoch()
+            store.sync_from(cache)
+            assert len(store.load()) == 0  # all rows went stale
+
+
+class TestVersioning:
+    def test_foreign_sqlite_file_degrades_cold(self, tmp_path):
+        path = store_path(tmp_path)
+        conn = sqlite3.connect(path)
+        conn.execute("CREATE TABLE unrelated (x)")
+        conn.commit()
+        conn.close()
+        with pytest.warns(CachePersistenceWarning, match="not a plan-store"):
+            store = PlanStore(path)
+        assert store.rebuilds == 1
+        assert len(store.load()) == 0
+        assert os.path.exists(path + ".corrupt")
+        # and the rebuilt file works
+        assert store.sync_from(make_cache(entries=2)) == 2
+        store.close()
+
+    @pytest.mark.parametrize("meta_key,bad_value", [
+        ("format", "some-other-format"),
+        ("schema_version", str(STORE_SCHEMA_VERSION + 1)),
+        ("key_version", str(KEY_VERSION + 1)),
+    ])
+    def test_stale_header_degrades_cold(self, tmp_path, meta_key, bad_value):
+        path = store_path(tmp_path)
+        with PlanStore(path) as store:
+            store.sync_from(make_cache(entries=3))
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "UPDATE meta SET value = ? WHERE key = ?", (bad_value, meta_key)
+        )
+        conn.commit()
+        conn.close()
+        with pytest.warns(CachePersistenceWarning, match=meta_key):
+            store = PlanStore(path)
+        assert len(store.load()) == 0
+        store.close()
+
+    def test_format_marker_present(self, tmp_path):
+        path = store_path(tmp_path)
+        with PlanStore(path) as store:
+            store.sync_from(make_cache(entries=1))
+        conn = sqlite3.connect(path)
+        row = conn.execute(
+            "SELECT value FROM meta WHERE key = 'format'"
+        ).fetchone()
+        conn.close()
+        assert row[0] == STORE_FORMAT_NAME
+
+    def test_rows_with_wrong_embedded_key_version_skipped(self, tmp_path):
+        path = store_path(tmp_path)
+        with PlanStore(path) as store:
+            store.sync_from(make_cache(entries=2))
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "UPDATE entries SET key = ? WHERE key LIKE '%digest-0%'",
+            (repr((KEY_VERSION + 1, "digest-0", ())),),
+        )
+        conn.commit()
+        conn.close()
+        store = PlanStore(path)
+        with pytest.warns(CachePersistenceWarning, match="skipped 1"):
+            loaded = store.load()
+        assert len(loaded) == 1
+        assert store.load_skipped == 1
+        store.close()
+
+
+class TestInterchange:
+    def test_export_document_round_trips_through_persist(self, tmp_path):
+        cache = make_cache(entries=4)
+        with PlanStore(store_path(tmp_path)) as store:
+            store.sync_from(cache)
+            document = store.export_document()
+        assert document["format"] == persist.FORMAT_NAME
+        assert document["key_version"] == KEY_VERSION
+        restored = persist.restore_document(document)
+        assert len(restored) == 4
+        for key, entry in cache.snapshot_entries():
+            got, status = restored.probe(key)
+            assert status == "hit"
+            assert repr(got.recipe) == repr(entry.recipe)
+
+    def test_export_save_load_json_file(self, tmp_path):
+        with PlanStore(store_path(tmp_path)) as store:
+            store.sync_from(make_cache(entries=3))
+            document = store.export_document()
+        json_path = str(tmp_path / "interchange.json")
+        persist.save_document(document, json_path)
+        assert len(persist.load(json_path)) == 3
+
+    def test_import_document_migrates_json_state(self, tmp_path):
+        """The JSON -> SQLite migration path."""
+        document = persist.dump_document(make_cache(entries=5))
+        with PlanStore(store_path(tmp_path)) as store:
+            assert store.import_document(document) == 5
+            assert len(store.load()) == 5
+
+    def test_import_bad_document_imports_nothing(self, tmp_path):
+        with PlanStore(store_path(tmp_path)) as store:
+            with pytest.warns(CachePersistenceWarning):
+                assert store.import_document({"format": "nope"}) == 0
+            assert store.entry_count(fresh_only=False) == 0
+
+    def test_import_export_is_idempotent(self, tmp_path):
+        document = persist.dump_document(make_cache(entries=3))
+        with PlanStore(store_path(tmp_path)) as store:
+            store.import_document(document)
+            store.import_document(document)  # upsert, not duplicate
+            assert store.entry_count(fresh_only=False) == 3
+            out = store.export_document()
+        assert {e["key"] for e in out["entries"]} == {
+            e["key"] for e in document["entries"]
+        }
+
+
+class TestOptimizerWiring:
+    def test_sqlite_cache_path_warm_restart(self, tmp_path):
+        path = store_path(tmp_path)
+        config = OptimizerConfig(cache="on", cache_path=path)
+        batch = repeated_workload(generators.chain(5, seed=9), 4, seed=3)
+
+        cold = Optimizer(config)
+        cold_results = cold.optimize_many(batch)
+        assert events_of(cold_results)[0] == "miss"
+        assert os.path.exists(path)  # autosaved at batch end
+
+        restarted = Optimizer(config)  # fresh process, same config
+        warm_results = restarted.optimize_many(batch)
+        assert all(event == "hit" for event in events_of(warm_results))
+        for a, b in zip(cold_results, warm_results):
+            assert a.cost == b.cost
+
+    def test_autosave_writes_o_of_k_rows(self, tmp_path):
+        """The acceptance criterion: k new entries -> O(k) rows."""
+        path = store_path(tmp_path)
+        config = OptimizerConfig(cache="on", cache_path=path)
+        optimizer = Optimizer(config)
+        optimizer.optimize_many(
+            repeated_workload(generators.chain(5, seed=9), 4, seed=3)
+        )
+        store = optimizer._cache_persister.store
+        baseline = store.rows_written
+        assert baseline == len(optimizer.plan_cache)
+        # a second batch with ONE genuinely new shape writes one row
+        optimizer.optimize_many(
+            repeated_workload(generators.star(4, seed=2), 1, seed=1)
+        )
+        assert store.rows_written == baseline + 1
+        # an all-hits batch opens no transaction at all
+        synced = store.syncs
+        optimizer.optimize_many(
+            repeated_workload(generators.chain(5, seed=9), 4, seed=3)
+        )
+        assert store.syncs == synced
+        assert store.skipped_syncs >= 1
+
+    def test_save_cache_explicit_sqlite_path(self, tmp_path):
+        optimizer = Optimizer(OptimizerConfig(cache="on"))
+        optimizer.optimize_many(
+            repeated_workload(generators.chain(4, seed=1), 3)
+        )
+        target = store_path(tmp_path)
+        written = optimizer.save_cache(target)
+        assert written == len(optimizer.plan_cache) > 0
+        with PlanStore(target) as store:
+            assert len(store.load()) == written
+
+    def test_corrupt_store_still_serves(self, tmp_path):
+        path = store_path(tmp_path)
+        with open(path, "w") as handle:
+            handle.write("garbage{{{")
+        config = OptimizerConfig(cache="on", cache_path=path)
+        with pytest.warns(CachePersistenceWarning):
+            optimizer = Optimizer(config)
+            results = optimizer.optimize_many(
+                repeated_workload(generators.chain(5, seed=3), 4)
+            )
+        assert all(r.plan is not None for r in results)
+        # and the rebuilt store persisted the fresh batch
+        restarted = Optimizer(config)
+        warm = restarted.optimize_many(
+            repeated_workload(generators.chain(5, seed=3), 4)
+        )
+        assert all(e == "hit" for e in events_of(warm))
+
+    def test_ttl_budget_knobs_reach_the_store(self, tmp_path):
+        config = OptimizerConfig(
+            cache="on",
+            cache_path=store_path(tmp_path),
+            cache_ttl=123.0,
+            cache_size_budget=1 << 20,
+        )
+        optimizer = Optimizer(config)
+        optimizer.plan_cache  # open the backend
+        store = optimizer._cache_persister.store
+        assert store.ttl == 123.0
+        assert store.size_budget == 1 << 20
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="cache_ttl"):
+            OptimizerConfig(cache_ttl=0.0)
+        with pytest.raises(ValueError, match="cache_size_budget"):
+            OptimizerConfig(cache_size_budget=0)
+
+
+class TestServingWiring:
+    def test_daemon_saves_to_store_on_shutdown(self, tmp_path):
+        from repro.optimizer import QuerySpec
+        from repro.serving import BackgroundServer, PlanClient
+
+        path = store_path(tmp_path)
+        spec = QuerySpec(
+            relations=[(f"r{i}", 100.0 + 10.0 * i) for i in range(5)],
+            joins=[(f"r{i}", f"r{i + 1}", 0.1) for i in range(4)],
+        )
+        config = OptimizerConfig(cache="on", cache_path=path)
+        with BackgroundServer(config) as daemon:
+            with PlanClient(daemon.address) as client:
+                assert client.optimize(spec)["ok"]
+        # BackgroundServer exit shut the daemon down: the store holds
+        # the computed plan
+        with PlanStore(path) as store:
+            assert len(store.load()) >= 1
+
+        # restart: the first repeat is a parent-side hit
+        with BackgroundServer(config) as daemon:
+            with PlanClient(daemon.address) as client:
+                answer = client.optimize(spec)
+                assert answer["via"] == "parent"
+                assert answer["cache_event"] == "hit"

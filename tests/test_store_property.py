@@ -1,0 +1,222 @@
+"""Property-based audit of the SQLite plan store (hypothesis).
+
+Two families of properties:
+
+* **interchange round-trips** — any batch of cache entries survives
+  PlanCache -> store -> ``export_document`` -> ``restore_document``
+  (and the reverse migration ``dump_document`` ->
+  ``import_document`` -> ``load``) with identical keys, recipes,
+  structures, costs, and epoch bookkeeping;
+* **compaction exactness** — the TTL sweep removes *exactly* the rows
+  whose expiry has passed, and the size-budget sweep keeps *exactly*
+  the maximal LRU suffix that fits the budget — no row lost to an
+  off-by-one, none retained past its bound.
+
+Stores live in per-example temporary directories created inside the
+test body (a function-scoped ``tmp_path`` would leak state across
+hypothesis examples).
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import KEY_VERSION, PlanCache, PlanStore, persist
+from repro.cache.store_schema import entry_size
+
+COMMON = dict(deadline=None, max_examples=40)
+
+SUFFIX = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+    min_size=1,
+    max_size=12,
+)
+
+
+def _key(suffix: str):
+    return (KEY_VERSION, suffix, ("auto", "hyperedges", ("m", "q"), 14))
+
+
+RECIPES = st.recursive(
+    st.integers(min_value=-(10**6), max_value=10**6),
+    lambda inner: st.tuples(inner, inner),
+    max_leaves=6,
+)
+
+ENTRIES = st.dictionaries(
+    SUFFIX,
+    st.tuples(
+        RECIPES,
+        st.one_of(st.none(), st.text(max_size=16)),
+        st.one_of(
+            st.none(),
+            st.floats(
+                min_value=0.0, max_value=1e12, allow_nan=False
+            ),
+        ),
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+def _fill(cache: PlanCache, entries: dict) -> None:
+    for suffix, (recipe, structure, cost) in entries.items():
+        cache.store(_key(suffix), recipe, structure=structure, cost=cost)
+
+
+@settings(**COMMON)
+@given(entries=ENTRIES)
+def test_store_load_round_trip(entries):
+    cache = PlanCache(64)
+    _fill(cache, entries)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "plans.sqlite")
+        with PlanStore(path) as store:
+            assert store.sync_from(cache) == len(entries)
+        with PlanStore(path) as store:
+            loaded = store.load(capacity=64)
+    assert len(loaded) == len(entries)
+    for suffix, (recipe, structure, cost) in entries.items():
+        entry, status = loaded.probe(_key(suffix))
+        assert status == "hit"
+        assert repr(entry.recipe) == repr(recipe)
+        assert entry.structure == structure
+        assert entry.cost == cost
+
+
+@settings(**COMMON)
+@given(entries=ENTRIES, bumps=st.integers(min_value=0, max_value=3))
+def test_export_document_round_trip(entries, bumps):
+    """store -> JSON document == the persist module's own view."""
+    cache = PlanCache(64)
+    for _ in range(bumps):
+        cache.bump_epoch()
+    _fill(cache, entries)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "plans.sqlite")
+        with PlanStore(path) as store:
+            store.sync_from(cache)
+            document = store.export_document()
+    assert document["format"] == persist.FORMAT_NAME
+    assert document["key_version"] == KEY_VERSION
+    assert len(document["entries"]) == len(entries)
+    # each entry row embeds the document epoch (fresh by definition)
+    assert all(
+        e["epoch"] == document["epoch"] for e in document["entries"]
+    )
+    restored = persist.restore_document(document)
+    assert len(restored) == len(entries)
+    for suffix, (recipe, structure, cost) in entries.items():
+        entry, status = restored.probe(_key(suffix))
+        assert status == "hit"
+        assert repr(entry.recipe) == repr(recipe)
+        assert entry.structure == structure
+        assert entry.cost == cost
+
+
+@settings(**COMMON)
+@given(entries=ENTRIES)
+def test_import_document_round_trip(entries):
+    """JSON document -> store -> load preserves every entry."""
+    cache = PlanCache(64)
+    _fill(cache, entries)
+    document = persist.dump_document(cache)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "plans.sqlite")
+        with PlanStore(path) as store:
+            assert store.import_document(document) == len(entries)
+            loaded = store.load(capacity=64)
+    assert len(loaded) == len(entries)
+    for suffix, (recipe, structure, cost) in entries.items():
+        entry, status = loaded.probe(_key(suffix))
+        assert status == "hit"
+        assert repr(entry.recipe) == repr(recipe)
+
+
+@settings(**COMMON)
+@given(
+    entries=ENTRIES,
+    offsets=st.data(),
+)
+def test_ttl_compaction_removes_exactly_the_expired(entries, offsets):
+    """Rows with expiry <= now vanish; every other row survives."""
+    cache = PlanCache(64)
+    _fill(cache, entries)
+    suffixes = sorted(entries)
+    # per-row expiry offsets around a pinned "now" of 1000.0
+    expiries = {
+        suffix: offsets.draw(
+            st.floats(min_value=1.0, max_value=2000.0, allow_nan=False),
+            label=f"expiry:{suffix}",
+        )
+        for suffix in suffixes
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "plans.sqlite")
+        store = PlanStore(path, ttl=10_000.0)
+        store.sync_from(cache)
+        # simulate rows written at varying times: pin each expiry
+        conn = sqlite3.connect(path)
+        for suffix, expiry in expiries.items():
+            conn.execute(
+                "UPDATE entries SET expires_at = ? WHERE key = ?",
+                (expiry, repr(_key(suffix))),
+            )
+        conn.commit()
+        conn.close()
+
+        swept = store.compact(now=1000.0)
+        expected_gone = {s for s, t in expiries.items() if t <= 1000.0}
+        assert swept["expired"] == len(expected_gone)
+        remaining = {
+            row[0]
+            for row in sqlite3.connect(path).execute(
+                "SELECT key FROM entries"
+            )
+        }
+        store.close()
+    assert remaining == {
+        repr(_key(s)) for s in suffixes if s not in expected_gone
+    }
+
+
+@settings(**COMMON)
+@given(entries=ENTRIES, budget=st.integers(min_value=1, max_value=4000))
+def test_size_budget_keeps_exactly_the_fitting_lru_suffix(entries, budget):
+    """Survivors = the longest newest-first run that fits the budget."""
+    cache = PlanCache(64)
+    _fill(cache, entries)
+    # dict preserves insertion order == cache write order == seq order
+    ordered = list(entries.items())
+    sizes = {
+        suffix: entry_size(
+            repr(_key(suffix)), repr(recipe), structure
+        )
+        for suffix, (recipe, structure, cost) in ordered
+    }
+    total = sum(sizes.values())
+    expected = dict(ordered)
+    for suffix, _payload in ordered:  # evict LRU-first (lowest seq)
+        if total <= budget:
+            break
+        total -= sizes[suffix]
+        del expected[suffix]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "plans.sqlite")
+        with PlanStore(path, size_budget=budget) as store:
+            store.sync_from(cache)
+            remaining = {
+                row[0]
+                for row in sqlite3.connect(path).execute(
+                    "SELECT key FROM entries"
+                )
+            }
+            assert store.rows_evicted == len(entries) - len(expected)
+    assert remaining == {repr(_key(s)) for s in expected}
