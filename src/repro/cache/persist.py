@@ -44,6 +44,7 @@ import json
 import os
 import tempfile
 import warnings
+import weakref
 from typing import Any, Optional
 
 from ..core.identity import is_process_scoped
@@ -271,7 +272,9 @@ class DocumentSync:
     """
 
     def __init__(self) -> None:
-        self._cache_id: Optional[int] = None
+        #: weakref to the mirrored cache — ``id()`` would alias a new
+        #: cache reusing a dead one's id and keep a stale cursor
+        self._cache_ref: "Optional[weakref.ref[PlanCache]]" = None
         self._cursor = 0
         self._epoch = 0
         self._capacity = 0
@@ -290,8 +293,11 @@ class DocumentSync:
         ``False`` — save skippable — only when *nothing* mutated since
         the previous update and the mirror is already primed.
         """
-        if self._cache_id != id(cache):
-            self._cache_id = id(cache)
+        mirrored = (
+            self._cache_ref() if self._cache_ref is not None else None
+        )
+        if mirrored is not cache:
+            self._cache_ref = weakref.ref(cache)
             self._cursor = 0
             self._serialized.clear()
             self._order = ()

@@ -89,9 +89,9 @@ class CacheDelta:
     #: full key membership, LRU-first, captured under the same lock —
     #: only when the consumer asked for it
     #: (``sync_since(..., include_order=True)``).  Mirror consumers
-    #: (the incremental JSON document saver) reconcile drops and LRU
-    #: evictions against it; additive consumers (worker warm-up, the
-    #: SQLite store) ignore it.
+    #: (the incremental JSON document saver, the SQLite store's force
+    #: syncs) reconcile drops and LRU evictions against it; additive
+    #: consumers (worker warm-up, routine store autosaves) ignore it.
     order: "Optional[tuple[Any, ...]]" = None
 
     @property

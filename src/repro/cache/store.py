@@ -40,6 +40,18 @@ syncs, the store epoch is bumped and older rows become stale —
 :meth:`PlanStore.load` only absorbs rows at the current store epoch,
 exactly like the document loader skips entries stale at save time.
 
+Routine syncs are **additive**: entries the cache dropped between
+syncs (LRU evictions, ``invalidate_structure``, replay-failure
+evictions, ``clear``) stay on disk until a TTL/budget sweep, an epoch
+bump, or a *force* sync removes them.  ``sync_from(cache, force=True)``
+— the explicit :meth:`Optimizer.save_cache` checkpoint and the serving
+daemon's shutdown save — captures the cache's full membership
+(``sync_since(..., include_order=True)``) and deletes rows no longer
+in it, treating the attached cache as the source of truth.  Deployments
+where several processes *write* one store file should lean on the
+additive autosaves plus epochs/TTL instead: a force sync from one
+process drops rows its own cache never held.
+
 Format selection is by file extension: :func:`open_persister` returns
 a :class:`StorePersister` for ``.sqlite`` / ``.sqlite3`` / ``.db``
 paths and falls back to the JSON
@@ -56,6 +68,7 @@ import sqlite3
 import threading
 import time
 import warnings
+import weakref
 from typing import Any, Optional, Union
 
 from ..core.identity import is_process_scoped
@@ -108,9 +121,11 @@ class PlanStore:
 
     Counters (plain ints, written under the lock, read without it):
     ``rows_written``, ``rows_expired``, ``rows_evicted`` (size budget),
-    ``rows_stale_dropped`` (epoch moved), ``syncs``, ``skipped_syncs``
-    (clean — no transaction opened), ``failed_syncs``, ``rebuilds``
-    (quarantine events), ``load_skipped`` (unparsable/foreign rows).
+    ``rows_stale_dropped`` (epoch moved), ``rows_reconciled``
+    (membership drops applied by force syncs), ``syncs``,
+    ``skipped_syncs`` (clean — no transaction opened),
+    ``failed_syncs``, ``rebuilds`` (quarantine events),
+    ``load_skipped`` (unparsable/foreign rows).
     """
 
     def __init__(
@@ -137,14 +152,18 @@ class PlanStore:
         self._capacity = capacity
         self._lock = threading.Lock()
         #: identity + cursor + epoch of the attached cache; reset when
-        #: a different cache object shows up (see :meth:`sync_from`)
-        self._cache_id: Optional[int] = None
+        #: a different cache object shows up (see :meth:`sync_from`).
+        #: A weakref, not ``id()``: after the attached cache is
+        #: garbage-collected a new one can reuse the same id, and a
+        #: stale cursor would silently skip the new cache's entries.
+        self._cache_ref: "Optional[weakref.ref[PlanCache]]" = None
         self._cursor = 0
         self._cache_epoch: Optional[int] = None
         self.rows_written = 0
         self.rows_expired = 0
         self.rows_evicted = 0
         self.rows_stale_dropped = 0
+        self.rows_reconciled = 0
         self.syncs = 0
         self.skipped_syncs = 0
         self.failed_syncs = 0
@@ -375,26 +394,43 @@ class PlanStore:
         (full first sync); a cache epoch that moved since the last sync
         bumps the *store* epoch so older rows become stale.  Returns
         the number of entry rows written; failures warn and return 0.
+
+        Routine syncs are additive — entries the cache dropped keep
+        their rows until compaction or an epoch bump removes them.  A
+        ``force`` sync additionally captures the cache's full
+        membership and deletes rows no longer in it (counted in
+        ``rows_reconciled``), making the store an exact mirror of the
+        attached cache; O(store) work, reserved for explicit
+        checkpoints and shutdown saves.
         """
         with self._lock:
             if self._conn is None:
                 return 0
-            if self._cache_id != id(cache):
-                self._cache_id = id(cache)
+            attached = (
+                self._cache_ref() if self._cache_ref is not None else None
+            )
+            if attached is not cache:
+                self._cache_ref = weakref.ref(cache)
                 self._cursor = 0
                 self._cache_epoch = None
-            delta = cache.sync_since(self._cursor)
+            delta = cache.sync_since(self._cursor, include_order=force)
             known_epoch = (
                 self._cache_epoch if self._cache_epoch is not None else 0
             )
             if delta.empty and delta.epoch == known_epoch and not force:
                 self.skipped_syncs += 1
                 return 0
-            status, detail, written, expired, stale, evicted = (
+            retain = (
+                {repr(key) for key in delta.order}
+                if delta.order is not None
+                else None
+            )
+            status, detail, written, expired, stale, evicted, reconciled = (
                 self._write_rows(
                     _delta_rows(delta),
                     capacity=cache.capacity,
                     bump_epoch=delta.epoch != known_epoch,
+                    retain=retain,
                 )
             )
             if status == "ok":
@@ -402,6 +438,7 @@ class PlanStore:
                 self.rows_expired += expired
                 self.rows_stale_dropped += stale
                 self.rows_evicted += evicted
+                self.rows_reconciled += reconciled
                 self.syncs += 1
                 self._cursor = delta.now
                 self._cache_epoch = delta.epoch
@@ -417,15 +454,19 @@ class PlanStore:
         self, rows: "list[tuple[str, str, Optional[str], Optional[float]]]",
         capacity: Optional[int],
         bump_epoch: bool,
-    ) -> "tuple[str, str, int, int, int, int]":
+        retain: "Optional[set[str]]" = None,
+    ) -> "tuple[str, str, int, int, int, int, int]":
         """One write transaction (caller holds the lock).
 
-        Returns ``(status, detail, written, expired, stale, evicted)``
-        with ``status`` one of ``"ok"`` / ``"failed"`` (transient:
-        disk full, contention — the file stays healthy) / ``"corrupt"``
-        (the caller must :meth:`_rebuild_locked` with ``detail``).
-        Writes no instance state itself — the caller owns the counters,
-        keeping every mutation lexically under ``with self._lock``.
+        Returns ``(status, detail, written, expired, stale, evicted,
+        reconciled)`` with ``status`` one of ``"ok"`` / ``"failed"``
+        (transient: disk full, contention — the file stays healthy) /
+        ``"corrupt"`` (the caller must :meth:`_rebuild_locked` with
+        ``detail``).  ``retain``, when given, is the full key-``repr``
+        membership of the attached cache: rows outside it are deleted
+        (force-sync reconciliation).  Writes no instance state itself —
+        the caller owns the counters, keeping every mutation lexically
+        under ``with self._lock``.
         """
         conn = self._conn
         assert conn is not None
@@ -461,6 +502,18 @@ class PlanStore:
             self._meta_set(conn, META_SEQ, seq)
             if capacity is not None:
                 self._meta_set(conn, META_CAPACITY, capacity)
+            reconciled = 0
+            if retain is not None:
+                doomed = [
+                    row[0]
+                    for row in conn.execute("SELECT key FROM entries")
+                    if row[0] not in retain
+                ]
+                for key in doomed:
+                    conn.execute(
+                        "DELETE FROM entries WHERE key = ?", (key,)
+                    )
+                reconciled = len(doomed)
             expired, stale, evicted = self._compact_in_txn(conn, now, epoch)
             conn.execute("COMMIT")
         except sqlite3.OperationalError as exc:
@@ -468,16 +521,16 @@ class PlanStore:
             # stays healthy, this delta just did not land
             self._rollback(conn)
             _warn(f"plan-store sync to {self.path!r} failed: {exc}")
-            return "failed", str(exc), 0, 0, 0, 0
+            return "failed", str(exc), 0, 0, 0, 0, 0
         except sqlite3.DatabaseError as exc:
             # corruption detected mid-run: quarantine and start cold
             self._rollback(conn)
-            return "corrupt", f"write failed: {exc}", 0, 0, 0, 0
+            return "corrupt", f"write failed: {exc}", 0, 0, 0, 0, 0
         except sqlite3.Error as exc:
             self._rollback(conn)
             _warn(f"plan-store sync to {self.path!r} failed: {exc}")
-            return "failed", str(exc), 0, 0, 0, 0
-        return "ok", "", written, expired, stale, evicted
+            return "failed", str(exc), 0, 0, 0, 0, 0
+        return "ok", "", written, expired, stale, evicted, reconciled
 
     @staticmethod
     def _rollback(conn: sqlite3.Connection) -> None:
@@ -535,7 +588,10 @@ class PlanStore:
         deterministically); ``vacuum=True`` additionally runs SQLite
         ``VACUUM`` after the sweep to return freed pages to the
         filesystem.  Returns the removed-row counts; failures warn and
-        return zeros.
+        return zeros.  Transient failures (lock contention past
+        ``busy_timeout`` — exactly what the background compactor can
+        hit under multi-process use — or a full disk) leave the file
+        healthy; only genuine corruption quarantines and rebuilds.
         """
         with self._lock:
             if self._conn is None:
@@ -549,8 +605,14 @@ class PlanStore:
                     conn, moment, epoch
                 )
                 conn.execute("COMMIT")
-                if vacuum:
-                    conn.execute("VACUUM")
+            except sqlite3.OperationalError as exc:
+                # transient (locked / disk full): the file stays
+                # healthy, this sweep just did not run — NOT corruption
+                # (OperationalError subclasses DatabaseError, so this
+                # branch must come first)
+                self._rollback(conn)
+                _warn(f"plan-store compaction of {self.path!r} failed: {exc}")
+                return {"expired": 0, "stale": 0, "evicted": 0}
             except sqlite3.DatabaseError as exc:
                 self._rollback(conn)
                 self._rebuild_locked(f"compaction failed: {exc}")
@@ -559,9 +621,19 @@ class PlanStore:
                 self._rollback(conn)
                 _warn(f"plan-store compaction of {self.path!r} failed: {exc}")
                 return {"expired": 0, "stale": 0, "evicted": 0}
+            # the sweep is committed: record it before the optional
+            # VACUUM, whose failure must not discard these counts
             self.rows_expired += expired
             self.rows_stale_dropped += stale
             self.rows_evicted += evicted
+            if vacuum:
+                try:
+                    conn.execute("VACUUM")
+                except sqlite3.Error as exc:
+                    _warn(
+                        f"plan-store VACUUM of {self.path!r} failed: "
+                        f"{exc}; the sweep itself is committed"
+                    )
             return {"expired": expired, "stale": stale, "evicted": evicted}
 
     # -- reading ----------------------------------------------------------
@@ -599,6 +671,12 @@ class PlanStore:
                 if capacity is None:
                     capacity = self._meta_int(conn, META_CAPACITY, 0) or None
                 rows = self._fresh_rows(conn, time.time())
+            except sqlite3.OperationalError as exc:
+                # transient (locked / disk full): cold cache for this
+                # call, but the file stays healthy — must be caught
+                # before its DatabaseError superclass
+                _warn(f"plan-store load from {self.path!r} failed: {exc}")
+                return PlanCache(capacity) if capacity else PlanCache()
             except sqlite3.DatabaseError as exc:
                 self._rebuild_locked(f"load failed: {exc}")
                 return PlanCache(capacity) if capacity else PlanCache()
@@ -623,7 +701,7 @@ class PlanStore:
             cache = PlanCache(capacity) if capacity else PlanCache()
             cache.absorb(items)
             # attach: the loaded content IS the persisted content
-            self._cache_id = id(cache)
+            self._cache_ref = weakref.ref(cache)
             self._cursor = cache.mutations
             self._cache_epoch = cache.epoch
             return cache
@@ -712,7 +790,7 @@ class PlanStore:
         with self._lock:
             if self._conn is None:
                 return 0
-            status, detail, written, expired, stale, evicted = (
+            status, detail, written, expired, stale, evicted, _ = (
                 self._write_rows(rows, capacity=None, bump_epoch=False)
             )
             if status != "ok":
@@ -736,6 +814,7 @@ class PlanStore:
             "rows_expired": self.rows_expired,
             "rows_evicted": self.rows_evicted,
             "rows_stale_dropped": self.rows_stale_dropped,
+            "rows_reconciled": self.rows_reconciled,
             "syncs": self.syncs,
             "skipped_syncs": self.skipped_syncs,
             "failed_syncs": self.failed_syncs,

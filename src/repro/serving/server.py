@@ -209,7 +209,7 @@ class PlanServer:
                     drained = True
                     break
             await asyncio.sleep(0.02)
-        saved = await self._save()
+        saved = await self._save(force=True)
         async with self._lock:
             pool = self._pool
             server = self._server
@@ -237,7 +237,7 @@ class PlanServer:
         self._stop_event.set()
         return {"ok": True, "drained": drained, "saved": saved}
 
-    async def _save(self) -> Optional[int]:
+    async def _save(self, force: bool = False) -> Optional[int]:
         """Persist the shared cache to ``cache_path``, if configured.
 
         Delegates to the persistence backend, which skips the write
@@ -245,12 +245,25 @@ class PlanServer:
         :meth:`~repro.cache.plan_cache.PlanCache.sync_since` cursor the
         worker warm-ups ride) and otherwise persists only the delta —
         the SQLite store upserts O(new entries) rows even when the
-        cache holds thousands.
+        cache holds thousands.  ``force`` (the shutdown save) writes
+        even a clean cache and lets the store reconcile dropped
+        entries.
+
+        The sync is a real disk transaction (plus inline TTL/budget
+        compaction on the store backend), so it runs in a worker
+        thread: the lock still serializes saves against each other,
+        but the event loop keeps handling requests meanwhile (the
+        store is internally locked and opened with
+        ``check_same_thread=False``).
         """
-        if self._persister is None:
+        persister = self._persister
+        if persister is None:
             return None
+        loop = asyncio.get_running_loop()
         async with self._lock:
-            return self._persister.sync(self.cache)
+            return await loop.run_in_executor(
+                None, lambda: persister.sync(self.cache, force)
+            )
 
     # -- connection handling ---------------------------------------------
 

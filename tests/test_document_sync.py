@@ -111,6 +111,29 @@ class TestDocumentSync:
         )
         assert status == "hit" and entry.recipe == (42, (0, 1))
 
+    def test_dead_cache_cannot_alias_a_new_one(self):
+        """The mirror holds a weakref: a new cache reusing a dead
+        cache's ``id()`` must reset the cursor, not inherit it."""
+        import gc
+
+        sync = DocumentSync()
+        first = make_cache(entries=5)
+        sync.update(first)
+        del first
+        gc.collect()
+        fresh = PlanCache(16)
+        fresh.store(
+            (1, "newcomer", ("auto", "hyperedges", ("m", "q"), 14)),
+            (0, (0, 1)),
+        )
+        # fresh.mutations (1) is behind the dead cache's cursor (5):
+        # id()-based tracking would return False on an id collision
+        # and keep serving the dead cache's document
+        assert sync.update(fresh) is True
+        document = sync.document()
+        assert len(document["entries"]) == 1
+        load_equivalent(document, fresh)
+
     def test_matches_dump_document_semantics(self):
         cache = make_cache(entries=6, capacity=8)
         sync = DocumentSync()

@@ -271,6 +271,104 @@ class TestSizeBudget:
             assert len(store.load(capacity=64)) >= 1
 
 
+class TestForceReconciliation:
+    def test_routine_syncs_are_additive(self, tmp_path):
+        """Drops between syncs keep their rows — documented divergence."""
+        cache = make_cache(entries=4)
+        with PlanStore(store_path(tmp_path)) as store:
+            store.sync_from(cache)
+            assert cache.invalidate_structure("bucket-0") == 2
+            store.sync_from(cache)
+            assert store.entry_count() == 4
+            assert store.rows_reconciled == 0
+
+    def test_force_sync_drops_invalidated_entries(self, tmp_path):
+        cache = make_cache(entries=4)
+        with PlanStore(store_path(tmp_path)) as store:
+            store.sync_from(cache)
+            assert cache.invalidate_structure("bucket-0") == 2
+            store.sync_from(cache, force=True)
+            assert store.entry_count() == 2
+            assert store.rows_reconciled == 2
+            survivors = store.load(capacity=16)
+        assert len(survivors) == 2
+        for i in (1, 3):
+            entry, status = survivors.probe(
+                (1, f"digest-{i}", ("auto", "hyperedges", ("m", "q"), 14))
+            )
+            assert status == "hit" and entry.recipe == (i, (0, 1))
+
+    def test_force_sync_reconciles_clear(self, tmp_path):
+        cache = make_cache(entries=3)
+        with PlanStore(store_path(tmp_path)) as store:
+            store.sync_from(cache)
+            cache.clear()
+            store.sync_from(cache, force=True)
+            assert store.entry_count(fresh_only=False) == 0
+            assert store.rows_reconciled == 3
+            assert len(store.load()) == 0
+
+    def test_force_sync_reconciles_replay_failure_drop(self, tmp_path):
+        cache = make_cache(entries=3)
+        doomed = (1, "digest-1", ("auto", "hyperedges", ("m", "q"), 14))
+        with PlanStore(store_path(tmp_path)) as store:
+            store.sync_from(cache)
+            cache.probe(doomed)
+            cache.note_replay_failure(doomed)
+            store.sync_from(cache, force=True)
+            assert store.entry_count() == 2
+            gone, status = store.load(capacity=16).probe(doomed)
+        assert status == "miss"
+
+    def test_daemon_shutdown_save_reconciles(self, tmp_path):
+        """The daemon's final save mirrors the cache membership."""
+        from repro.serving import BackgroundServer
+
+        path = store_path(tmp_path)
+        config = OptimizerConfig(cache="on", cache_path=path)
+        doomed = (1, "digest-0", ("auto", "hyperedges", ("m", "q"), 14))
+        with BackgroundServer(config) as daemon:
+            cache = daemon.server.cache  # thread-safe by contract
+            for key, entry in make_cache(entries=3).snapshot_entries():
+                cache.store(key, entry.recipe, entry.structure, entry.cost)
+        with PlanStore(path) as store:
+            assert len(store.load()) == 3
+        with BackgroundServer(config) as daemon:
+            cache = daemon.server.cache
+            assert len(cache) == 3
+            cache.probe(doomed)
+            cache.note_replay_failure(doomed)
+            # context exit shuts down -> one final force save
+        with PlanStore(path) as store:
+            loaded = store.load()
+        assert len(loaded) == 2
+        gone, status = loaded.probe(doomed)
+        assert status == "miss"
+
+
+class TestCacheIdentity:
+    def test_dead_cache_cannot_alias_a_new_one(self, tmp_path):
+        """The attachment is a weakref, so a dead cache's cursor can
+        never be inherited by a new cache reusing its ``id()``."""
+        import gc
+
+        with PlanStore(store_path(tmp_path)) as store:
+            first = make_cache(entries=5)
+            assert store.sync_from(first) == 5
+            del first
+            gc.collect()
+            fresh = PlanCache(16)
+            fresh.store(
+                (1, "newcomer", ("auto", "hyperedges", ("m", "q"), 14)),
+                (0, (0, 1)),
+            )
+            # fresh.mutations (1) is far behind the dead cache's
+            # cursor (5): id()-based tracking would skip this entry
+            # on an id collision; the weakref resets deterministically
+            assert store.sync_from(fresh) == 1
+            assert len(store.load()) == 6
+
+
 class TestEpochs:
     def test_bump_between_syncs_stales_old_rows(self, tmp_path):
         cache = make_cache(entries=3)

@@ -219,6 +219,81 @@ class TestCorruptFiles:
         store.close()
 
 
+class TestTransientErrorsAreNotCorruption:
+    """``OperationalError`` subclasses ``DatabaseError``: every handler
+    must classify contention/disk-full as transient BEFORE the
+    corruption branch, or a routine hiccup quarantines a healthy store
+    and loses every persisted plan."""
+
+    def test_locked_compact_does_not_quarantine(self, tmp_path):
+        path = str(tmp_path / "plans.sqlite")
+        store = PlanStore(path, busy_timeout=0.05)
+        store.sync_from(make_cache(entries=3))
+        blocker = sqlite3.connect(path, isolation_level=None)
+        blocker.execute("BEGIN IMMEDIATE")  # exactly what a concurrent
+        try:                                # process's writer holds
+            with pytest.warns(CachePersistenceWarning, match="locked"):
+                swept = store.compact()
+            assert swept == {"expired": 0, "stale": 0, "evicted": 0}
+            assert store.rebuilds == 0
+            assert not os.path.exists(path + ".corrupt")
+        finally:
+            blocker.execute("ROLLBACK")
+            blocker.close()
+        # the store file is healthy: the sweep just runs next time
+        assert store.entry_count() == 3
+        assert store.compact() == {"expired": 0, "stale": 0, "evicted": 0}
+        store.close()
+
+    def test_transient_load_failure_does_not_quarantine(
+        self, tmp_path, monkeypatch
+    ):
+        path = str(tmp_path / "plans.sqlite")
+        store = PlanStore(path)
+        store.sync_from(make_cache(entries=3))
+
+        def locked(conn, now):
+            raise sqlite3.OperationalError("database is locked")
+
+        monkeypatch.setattr(store, "_fresh_rows", locked)
+        with pytest.warns(CachePersistenceWarning, match="locked"):
+            cold = store.load()
+        assert len(cold) == 0
+        assert store.rebuilds == 0
+        assert not os.path.exists(path + ".corrupt")
+        monkeypatch.undo()
+        assert len(store.load()) == 3  # nothing was lost
+        store.close()
+
+    def test_vacuum_failure_keeps_sweep_counts(self, tmp_path):
+        """A failed post-sweep VACUUM must not discard the committed
+        sweep's counters, and must never quarantine the store."""
+        path = str(tmp_path / "plans.sqlite")
+        store = PlanStore(path, ttl=1000.0)
+        store.sync_from(make_cache(entries=4))
+
+        real = store._conn
+
+        class VacuumBomb:
+            def execute(self, sql, *args):
+                if sql == "VACUUM":
+                    raise sqlite3.OperationalError("database is locked")
+                return real.execute(sql, *args)
+
+            def __getattr__(self, name):
+                return getattr(real, name)
+
+        store._conn = VacuumBomb()
+        with pytest.warns(CachePersistenceWarning, match="VACUUM"):
+            swept = store.compact(now=time.time() + 2000.0, vacuum=True)
+        assert swept == {"expired": 4, "stale": 0, "evicted": 0}
+        assert store.rows_expired == 4
+        assert store.rebuilds == 0
+        assert not os.path.exists(path + ".corrupt")
+        store._conn = real
+        store.close()
+
+
 class TestDiskPressure:
     def test_full_disk_warns_and_stays_usable(self, tmp_path):
         path = str(tmp_path / "plans.sqlite")
