@@ -1,7 +1,7 @@
-"""Serving-daemon bench: resident pool vs per-batch pool, delta sync.
+"""Serving-daemon bench: resident pool vs per-batch pool, pipelining.
 
-Two phases, emitted as one JSON document (``BENCH_pr7_serving.json``
-is the committed baseline):
+Three phases, emitted as one JSON document (``BENCH_pr7_serving.json``
+and ``BENCH_pr10_pipeline.json`` are the committed baselines):
 
 **serving** — N concurrent clients drive a mixed hot/cold workload
 (two thirds repeats of shared shapes, one third unique-statistics
@@ -19,6 +19,18 @@ queries that always miss) against
 The daemon must sustain >= ``--min-speedup`` (the PR gate: 3x) times
 the baseline's q/s.
 
+**pipeline** — protocol v2 pipelining against v1 lockstep on *one*
+connection: the same mixed workload (adjacent duplicate cold misses
+plus hot repeats) is replayed twice against fresh 2-worker daemons
+restored from the same warm cache — once as the serialized
+request/response loop a v1 client is stuck with (depth 1), once
+through :meth:`~repro.serving.client.PlanClient.optimize_many` with
+``--pipeline-depth`` requests in flight.  The pipelined run must
+sustain >= ``--min-pipeline-speedup`` (the PR gate: 2x) times the
+serialized q/s, and the duplicate misses racing through the pool must
+produce **shared-memory tier hits** (a worker serving a plan its
+sibling computed moments earlier, before any delta could ship it).
+
 **delta_sync** — deterministic proof that re-syncing a worker after
 100 new entries ships *only* the delta: a cache is warmed with 150
 real optimized entries, the mutation cursor is taken, 100 more are
@@ -29,7 +41,7 @@ Usage::
 
     PYTHONPATH=src python -m repro.bench serving --out BENCH_new.json
     PYTHONPATH=src python -m repro.bench serving --clients 8 \
-        --requests 30 --min-speedup 3
+        --requests 30 --min-speedup 3 --min-pipeline-speedup 2
 """
 
 from __future__ import annotations
@@ -46,12 +58,20 @@ from ..optimizer import Optimizer, OptimizerConfig, QuerySpec
 from ..serving import BackgroundServer, PlanClient
 
 #: bump when the JSON layout changes incompatibly
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
-REQUIRED_KEYS = ("schema_version", "label", "python", "serving", "delta_sync")
+REQUIRED_KEYS = (
+    "schema_version", "label", "python", "serving", "pipeline",
+    "delta_sync",
+)
 REQUIRED_SERVING_KEYS = (
     "clients", "requests_per_client", "n_requests", "daemon_qps",
     "baseline_qps", "speedup", "p50_ms", "p99_ms", "daemon_sync",
+)
+REQUIRED_PIPELINE_KEYS = (
+    "depth", "n_requests", "workers", "serial_qps", "pipelined_qps",
+    "speedup", "serial_p50_ms", "serial_p99_ms", "pipelined_p50_ms",
+    "pipelined_p99_ms", "tier",
 )
 REQUIRED_DELTA_KEYS = (
     "warm_entries", "added_entries", "delta_entries", "delta_bytes",
@@ -255,6 +275,135 @@ def run_serving_phase(
     }
 
 
+def build_pipeline_workload(groups: int) -> "list[QuerySpec]":
+    """One connection's request stream for the pipeline phase.
+
+    Each 8-request group (one pipeline window) is ``[a, b, c, d, a, b,
+    c, d]``: four distinct cold misses followed by their duplicates.
+    At depth 8 the parent probes all eight before any computation
+    finishes, so all eight go to the pool — the duplicates *queue*
+    behind the originals on the 2-worker pool and mostly run after the
+    originals' plans were published, which is exactly the window the
+    shared-memory tier serves (the duplicates' deltas were captured at
+    ship time, before those plans existed).  A serialized client runs
+    the same list, where the duplicates are ordinary parent hits.
+    """
+    stream: "list[QuerySpec]" = []
+    for index in range(groups):
+        colds = [
+            _chain_spec(6, 5000.0 + 1000.0 * index + 200.0 * j, tag=j)
+            for j in range(4)
+        ]
+        stream.extend(colds)
+        stream.extend(colds)
+    return stream
+
+
+def _quantiles_ms(latencies: "list[float]") -> "tuple[float, float]":
+    ordered = sorted(latencies)
+    p99 = ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+    return (
+        round(1000.0 * statistics.median(ordered), 3),
+        round(1000.0 * p99, 3),
+    )
+
+
+def run_pipeline_phase(
+    depth: int = 8,
+    groups: int = 12,
+    warm_entries: int = 200,
+    workers: int = 2,
+    require_tier_hits: bool = True,
+) -> "dict[str, Any]":
+    """Protocol v2 pipelining vs v1 lockstep on one connection.
+
+    Both runs get a *fresh* daemon restored from the same warm cache
+    (copied, so the first run's absorbs cannot warm the second), the
+    same worker count, and the same request stream; only the client
+    discipline differs.  ``require_tier_hits`` hard-asserts that the
+    pipelined run produced worker-side shared-tier hits — proof the
+    duplicate misses actually raced and the tier closed the window
+    (relaxed only by the tiny test runs, where the race is not
+    statistically guaranteed).
+    """
+    import shutil
+    import tempfile
+
+    stream = build_pipeline_workload(groups)
+    n_requests = len(stream)
+    tmpdir = tempfile.mkdtemp(prefix="bench_pipeline_")
+    serial_cache, piped_cache = _warm_cache_file(tmpdir, warm_entries)
+
+    def fresh_daemon(cache_path: str) -> BackgroundServer:
+        return BackgroundServer(
+            OptimizerConfig(cache="on", cache_path=cache_path),
+            workers=workers,
+            max_in_flight=4 * depth,
+            queue_limit=8 * depth,
+        )
+
+    # -- depth 1: the v1 serialized request/response loop
+    with fresh_daemon(serial_cache) as daemon:
+        with PlanClient(daemon.address, timeout=120.0) as connection:
+            connection.optimize(_chain_spec(4, 77.0))  # untimed warm-up
+            serial_latencies: "list[float]" = []
+            serial_start = time.perf_counter()
+            for spec in stream:
+                started = time.perf_counter()
+                connection.optimize(spec)
+                serial_latencies.append(time.perf_counter() - started)
+            serial_wall = time.perf_counter() - serial_start
+
+    # -- depth N: one pipelined optimize_many over the same stream
+    with fresh_daemon(piped_cache) as daemon:
+        with PlanClient(daemon.address, timeout=120.0) as connection:
+            connection.optimize(_chain_spec(4, 77.0))  # untimed warm-up
+            piped_start = time.perf_counter()
+            connection.optimize_many(stream, depth=depth)
+            piped_wall = time.perf_counter() - piped_start
+            piped_latencies = list(connection.last_latencies)
+            stats = connection.stats()
+
+    shutil.rmtree(tmpdir, ignore_errors=True)
+    tier = stats["shared_tier"] or {}
+    tier_hits = (tier.get("workers") or {}).get("tier_hits", 0)
+    if require_tier_hits and tier_hits < 1:
+        raise AssertionError(
+            "pipelined run produced no shared-tier worker hits — the "
+            "duplicate misses never raced, or the tier is broken"
+        )
+    serial_p50, serial_p99 = _quantiles_ms(serial_latencies)
+    piped_p50, piped_p99 = _quantiles_ms(piped_latencies)
+    import os
+
+    return {
+        "depth": depth,
+        "n_requests": n_requests,
+        "workers": workers,
+        # q/s ratios are only interpretable against the core budget:
+        # on a single-CPU host the 2-worker pool cannot physically
+        # overlap computation, so the speedup degrades to whatever
+        # scheduling overlap remains
+        "cpus": os.cpu_count(),
+        "warm_entries": warm_entries,
+        "serial_wall_s": round(serial_wall, 6),
+        "serial_qps": round(n_requests / serial_wall, 2),
+        "serial_p50_ms": serial_p50,
+        "serial_p99_ms": serial_p99,
+        "pipelined_wall_s": round(piped_wall, 6),
+        "pipelined_qps": round(n_requests / piped_wall, 2),
+        "pipelined_p50_ms": piped_p50,
+        "pipelined_p99_ms": piped_p99,
+        "speedup": round(serial_wall / piped_wall, 3),
+        "tier": {
+            "publisher": tier.get("publisher"),
+            "workers": tier.get("workers"),
+            "tier_hits": tier_hits,
+        },
+        "server": stats["server"],
+    }
+
+
 def run_delta_sync_phase(
     warm_entries: int = 150, added_entries: int = 100
 ) -> "dict[str, Any]":
@@ -300,9 +449,10 @@ def run_serving(
     clients: int = 8,
     requests: int = 30,
     warm_entries: int = 400,
+    pipeline_depth: int = 8,
     label: str = "",
 ) -> "dict[str, Any]":
-    """Run both phases; return the JSON document."""
+    """Run all three phases; return the JSON document."""
     return {
         "schema_version": SCHEMA_VERSION,
         "label": label,
@@ -313,6 +463,7 @@ def run_serving(
         "serving": run_serving_phase(
             clients=clients, requests=requests, warm_entries=warm_entries
         ),
+        "pipeline": run_pipeline_phase(depth=pipeline_depth),
         "delta_sync": run_delta_sync_phase(),
     }
 
@@ -330,6 +481,9 @@ def validate_result(document: "dict[str, Any]") -> None:
     for key in REQUIRED_SERVING_KEYS:
         if key not in document["serving"]:
             raise ValueError(f"serving section missing {key!r}")
+    for key in REQUIRED_PIPELINE_KEYS:
+        if key not in document["pipeline"]:
+            raise ValueError(f"pipeline section missing {key!r}")
     for key in REQUIRED_DELTA_KEYS:
         if key not in document["delta_sync"]:
             raise ValueError(f"delta_sync section missing {key!r}")
@@ -337,6 +491,7 @@ def validate_result(document: "dict[str, Any]") -> None:
 
 def render_summary(document: "dict[str, Any]") -> str:
     serving = document["serving"]
+    pipeline = document["pipeline"]
     delta = document["delta_sync"]
     sync = serving["daemon_sync"]
     return "\n".join([
@@ -352,6 +507,16 @@ def render_summary(document: "dict[str, Any]") -> str:
         "pool",
         f"  warm-ups: {sync['full_syncs']} full, {sync['delta_syncs']} "
         f"delta ({sync['snapshot_bytes']} B shipped)",
+        f"  pipeline: depth {pipeline['depth']} "
+        f"{pipeline['pipelined_qps']:>9} q/s "
+        f"p50={pipeline['pipelined_p50_ms']}ms "
+        f"p99={pipeline['pipelined_p99_ms']}ms  vs  depth 1 "
+        f"{pipeline['serial_qps']} q/s "
+        f"p50={pipeline['serial_p50_ms']}ms "
+        f"p99={pipeline['serial_p99_ms']}ms",
+        f"  pipeline speedup: {pipeline['speedup']}x "
+        f"({pipeline['workers']} workers, "
+        f"{pipeline['tier']['tier_hits']} shared-tier hits)",
         f"  delta re-sync: {delta['added_entries']} new entries -> "
         f"{delta['delta_entries']} shipped, {delta['delta_bytes']} B "
         f"vs {delta['full_bytes']} B full "
@@ -387,10 +552,20 @@ def main(argv: "Optional[list[str]]" = None) -> int:
         help="fail (exit 1) when the daemon is not this many times "
              "faster than per-batch pools (the PR gate: 3)",
     )
+    parser.add_argument(
+        "--pipeline-depth", type=int, default=8,
+        help="in-flight window of the pipelined phase (default 8)",
+    )
+    parser.add_argument(
+        "--min-pipeline-speedup", type=float, default=None,
+        help="fail (exit 1) when depth-N pipelining is not this many "
+             "times faster than the depth-1 lockstep (the PR gate: 2)",
+    )
     args = parser.parse_args(argv)
 
     document = run_serving(
-        clients=args.clients, requests=args.requests, label=args.label
+        clients=args.clients, requests=args.requests,
+        pipeline_depth=args.pipeline_depth, label=args.label,
     )
     validate_result(document)
     print(render_summary(document))
@@ -412,5 +587,20 @@ def main(argv: "Optional[list[str]]" = None) -> int:
         print(
             f"resident daemon beats per-batch pools by >= "
             f"{args.min_speedup}x"
+        )
+    if args.min_pipeline_speedup is not None:
+        speedup = document["pipeline"]["speedup"]
+        if speedup is None or speedup < args.min_pipeline_speedup:
+            print(
+                f"PIPELINE REGRESSION: depth-"
+                f"{document['pipeline']['depth']} pipelining only "
+                f"{speedup}x faster than the depth-1 lockstep "
+                f"(required {args.min_pipeline_speedup}x)",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"pipelined serving beats the serialized loop by >= "
+            f"{args.min_pipeline_speedup}x"
         )
     return 0

@@ -382,6 +382,15 @@ class DocumentPersister:
     def close(self) -> None:
         """Nothing to release (the JSON backend holds no handles)."""
 
+    def counters(self) -> dict:
+        """Backend counters in the same shape the store facade reports
+        (the serving daemon's ``stats`` op is backend-agnostic)."""
+        return {
+            "kind": self.kind,
+            "path": self.path,
+            "serialized": self.serialized,
+        }
+
     @property
     def serialized(self) -> int:
         """Entries ``repr``-serialized so far (O(k) accounting)."""

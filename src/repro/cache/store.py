@@ -136,6 +136,8 @@ class PlanStore:
         size_budget: Optional[int] = None,
         busy_timeout: float = 5.0,
         compact_interval: Optional[float] = None,
+        vacuum_ratio: Optional[float] = 0.25,
+        vacuum_interval: float = 300.0,
     ) -> None:
         if ttl is not None and ttl <= 0:
             raise ValueError("ttl must be None or > 0 seconds")
@@ -145,10 +147,20 @@ class PlanStore:
             raise ValueError("busy_timeout must be >= 0")
         if compact_interval is not None and compact_interval <= 0:
             raise ValueError("compact_interval must be None or > 0")
+        if vacuum_ratio is not None and not 0.0 < vacuum_ratio <= 1.0:
+            raise ValueError("vacuum_ratio must be None or in (0, 1]")
+        if vacuum_interval <= 0:
+            raise ValueError("vacuum_interval must be > 0 seconds")
         self.path = path
         self.ttl = ttl
         self.size_budget = size_budget
         self.busy_timeout = busy_timeout
+        #: online VACUUM policy: after a sweep, when the freelist holds
+        #: at least this fraction of the file's pages, VACUUM — but
+        #: never more than once per ``vacuum_interval`` seconds.
+        #: ``None`` disables the policy (explicit ``vacuum=True`` only).
+        self.vacuum_ratio = vacuum_ratio
+        self.vacuum_interval = vacuum_interval
         self._capacity = capacity
         self._lock = threading.Lock()
         #: identity + cursor + epoch of the attached cache; reset when
@@ -169,6 +181,8 @@ class PlanStore:
         self.failed_syncs = 0
         self.rebuilds = 0
         self.load_skipped = 0
+        self.auto_vacuums = 0
+        self._last_vacuum: Optional[float] = None
         conn, rebuilt = self._open()
         self._conn: Optional[sqlite3.Connection] = conn
         if rebuilt:
@@ -592,6 +606,15 @@ class PlanStore:
         ``busy_timeout`` — exactly what the background compactor can
         hit under multi-process use — or a full disk) leave the file
         healthy; only genuine corruption quarantines and rebuilds.
+
+        Online VACUUM policy: without an explicit ``vacuum=True``, the
+        sweep still vacuums when the freelist ratio
+        (``freelist_count / page_count``) reaches ``vacuum_ratio`` —
+        TTL and budget deletes return pages to the freelist, not to
+        the filesystem, so a long-lived store would otherwise only
+        ever grow.  Rate-limited to once per ``vacuum_interval``
+        seconds (VACUUM rewrites the whole file and blocks writers),
+        counted in ``auto_vacuums``.
         """
         with self._lock:
             if self._conn is None:
@@ -626,15 +649,40 @@ class PlanStore:
             self.rows_expired += expired
             self.rows_stale_dropped += stale
             self.rows_evicted += evicted
-            if vacuum:
+            auto = False
+            if not vacuum and self.vacuum_ratio is not None:
+                due = (
+                    self._last_vacuum is None
+                    or moment - self._last_vacuum >= self.vacuum_interval
+                )
+                auto = (
+                    due
+                    and self._freelist_ratio(conn) >= self.vacuum_ratio
+                )
+            if vacuum or auto:
                 try:
                     conn.execute("VACUUM")
+                    self._last_vacuum = moment
+                    if auto:
+                        self.auto_vacuums += 1
                 except sqlite3.Error as exc:
                     _warn(
                         f"plan-store VACUUM of {self.path!r} failed: "
                         f"{exc}; the sweep itself is committed"
                     )
             return {"expired": expired, "stale": stale, "evicted": evicted}
+
+    @staticmethod
+    def _freelist_ratio(conn: sqlite3.Connection) -> float:
+        """Fraction of the file's pages sitting on the freelist."""
+        try:
+            freelist = conn.execute("PRAGMA freelist_count").fetchone()
+            pages = conn.execute("PRAGMA page_count").fetchone()
+        except sqlite3.Error:
+            return 0.0
+        if freelist is None or pages is None or int(pages[0]) == 0:
+            return 0.0
+        return int(freelist[0]) / int(pages[0])
 
     # -- reading ----------------------------------------------------------
 
@@ -820,6 +868,7 @@ class PlanStore:
             "failed_syncs": self.failed_syncs,
             "rebuilds": self.rebuilds,
             "load_skipped": self.load_skipped,
+            "auto_vacuums": self.auto_vacuums,
             "ttl": self.ttl,
             "size_budget": self.size_budget,
             "entries": self.entry_count(fresh_only=False),
@@ -903,6 +952,12 @@ class StorePersister:
 
     def sync(self, cache: PlanCache, force: bool = False) -> int:
         return self.store.sync_from(cache, force=force)
+
+    def counters(self) -> dict:
+        """Store counters, tagged with the backend kind (``stats`` op)."""
+        counters = self.store.counters()
+        counters["kind"] = self.kind
+        return counters
 
     def close(self) -> None:
         self.store.close()

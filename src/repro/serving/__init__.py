@@ -12,8 +12,15 @@ snapshot.  This package is the long-lived alternative:
   the entries added since their last sync) instead of full snapshots
   (:mod:`repro.serving.sync`);
 * :class:`~repro.serving.client.PlanClient` — blocking client over the
-  length-prefixed JSON protocol (:mod:`repro.serving.protocol`), with
+  length-prefixed JSON protocol (:mod:`repro.serving.protocol`); v2
+  requests carry an ``id`` and :meth:`~repro.serving.client.PlanClient.
+  optimize_many` keeps a window of them in flight (pipelining), with
   per-client cache namespaces;
+* :class:`~repro.serving.shared_tier.HotTierPublisher` /
+  :class:`~repro.serving.shared_tier.HotTierReader` — the
+  shared-memory hot-plan tier pool workers probe before computing;
+* :class:`~repro.serving.shard.ShardRouter` — fingerprint-sharded
+  client across M daemons, with dead-shard fallback-to-compute;
 * :class:`~repro.serving.runner.BackgroundServer` — in-process harness
   for tests, benches, and doc snippets;
 * ``python -m repro.serving`` — the standalone daemon.
@@ -21,7 +28,7 @@ snapshot.  This package is the long-lived alternative:
 See ``docs/serving.md`` for the protocol and the delta-warming design.
 """
 
-from .client import PlanClient, ServerError
+from .client import DEFAULT_PIPELINE_DEPTH, PlanClient, ServerError
 from .protocol import (
     MAX_FRAME_BYTES,
     FrameTooLargeError,
@@ -30,18 +37,25 @@ from .protocol import (
     wire_to_spec,
 )
 from .runner import BackgroundServer
-from .server import PlanServer
+from .server import PROTOCOL_VERSION, PlanServer
+from .shard import ShardRouter
+from .shared_tier import HotTierPublisher, HotTierReader
 from .sync import DeltaTracker
 
 __all__ = [
     "PlanClient",
     "ServerError",
+    "DEFAULT_PIPELINE_DEPTH",
     "MAX_FRAME_BYTES",
     "FrameTooLargeError",
     "ProtocolError",
+    "PROTOCOL_VERSION",
     "spec_to_wire",
     "wire_to_spec",
     "BackgroundServer",
     "PlanServer",
+    "ShardRouter",
+    "HotTierPublisher",
+    "HotTierReader",
     "DeltaTracker",
 ]

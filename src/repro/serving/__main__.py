@@ -17,9 +17,11 @@ from typing import Optional, Sequence
 from ..optimizer import OptimizerConfig
 from .server import (
     DEFAULT_MAX_IN_FLIGHT,
+    DEFAULT_PIPELINE_WINDOW,
     DEFAULT_QUEUE_LIMIT,
     PlanServer,
 )
+from .shared_tier import DEFAULT_TIER_BYTES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,6 +46,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--queue-limit", type=int, default=DEFAULT_QUEUE_LIMIT,
         help="optimize requests allowed to wait; beyond it: rejection",
+    )
+    parser.add_argument(
+        "--pipeline-window", type=int, default=DEFAULT_PIPELINE_WINDOW,
+        help="per-connection in-flight cap for pipelined (id-carrying) "
+        "requests",
+    )
+    parser.add_argument(
+        "--idle-timeout", type=float, default=None,
+        help="close connections idle for this many seconds "
+        "(default: never)",
+    )
+    parser.add_argument(
+        "--shared-tier-bytes", type=int, default=DEFAULT_TIER_BYTES,
+        help="size of the shared-memory hot-plan segment workers probe "
+        "before computing (0 disables the tier)",
     )
     parser.add_argument(
         "--cache-path", default=None,
@@ -98,6 +115,9 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
         workers=args.workers,
         max_in_flight=args.max_in_flight,
         queue_limit=args.queue_limit,
+        pipeline_window=args.pipeline_window,
+        idle_timeout=args.idle_timeout,
+        shared_tier_bytes=args.shared_tier_bytes,
         debug_ops=args.debug_ops,
     )
     asyncio.run(_serve(server))

@@ -6,6 +6,15 @@ callers that want concurrency run one client per thread (the bench's
 N concurrent clients) or per process; the server end is async and
 multiplexes them all.
 
+Protocol v2 pipelining: :meth:`PlanClient.optimize_many` keeps up to
+``depth`` requests in flight on the one connection, tagging each with
+a client-unique ``id`` and matching out-of-order responses back to
+submission order — socket round-trip latency overlaps with server-side
+work instead of serializing on it.  The per-op conveniences
+(:meth:`optimize`, :meth:`ping`, ...) deliberately stay id-less: they
+exercise the v1 serialized mode, which the v2 server supports
+unchanged.
+
 Namespacing: a client constructed with ``namespace="tenant-a"`` tags
 every optimize request, so its entries are keyed apart from other
 namespaces inside the server's shared cache (see
@@ -17,9 +26,17 @@ Not thread-safe: one :class:`PlanClient` per thread.
 from __future__ import annotations
 
 import socket
+import time
+from collections import deque
 from typing import Any, Optional
 
-from .protocol import recv_frame, send_frame, spec_to_wire
+from .protocol import ProtocolError, recv_frame, send_frame, spec_to_wire
+
+#: default in-flight window of :meth:`PlanClient.optimize_many`
+DEFAULT_PIPELINE_DEPTH = 8
+
+#: ``overloaded`` retries per query before giving up
+MAX_OVERLOAD_RETRIES = 64
 
 
 class ServerError(RuntimeError):
@@ -48,6 +65,10 @@ class PlanClient:
         self.address = (address[0], int(address[1]))
         self.namespace = namespace
         self._sock = socket.create_connection(self.address, timeout=timeout)
+        #: next request id for pipelined sends (client-unique)
+        self._next_id = 1
+        #: per-request wall latencies of the last :meth:`optimize_many`
+        self.last_latencies: "list[float]" = []
 
     def __enter__(self) -> "PlanClient":
         return self
@@ -98,6 +119,72 @@ class PlanClient:
         if self.namespace is not None:
             message["namespace"] = self.namespace
         return self.request(message)
+
+    def optimize_many(
+        self,
+        queries: "list[Any]",
+        depth: int = DEFAULT_PIPELINE_DEPTH,
+    ) -> "list[dict[str, Any]]":
+        """Optimize a batch with up to ``depth`` requests in flight.
+
+        The protocol-v2 pipelined path: a sliding window of
+        id-carrying requests on this one connection, completions
+        matched by id (the server finishes them out of order), results
+        returned in submission order.  ``overloaded`` responses —
+        window or admission backpressure — re-queue the query with a
+        short backoff instead of failing the batch; any other error
+        raises :class:`ServerError` (matching :meth:`optimize`).
+
+        Per-request wall latencies (send to matching receive) are left
+        in :attr:`last_latencies`, index-aligned with the results.
+        """
+        if depth < 1:
+            raise ValueError("depth must be at least 1")
+        results: "list[Optional[dict[str, Any]]]" = [None] * len(queries)
+        latencies = [0.0] * len(queries)
+        todo: "deque[int]" = deque(range(len(queries)))
+        pending: "dict[int, int]" = {}  # wire id -> query index
+        sent_at: "dict[int, float]" = {}
+        retries = [0] * len(queries)
+        while todo or pending:
+            while todo and len(pending) < depth:
+                index = todo.popleft()
+                rid = self._next_id
+                self._next_id += 1
+                query = queries[index]
+                payload = (
+                    query if isinstance(query, dict) else spec_to_wire(query)
+                )
+                message: "dict[str, Any]" = {
+                    "op": "optimize", "query": payload, "id": rid,
+                }
+                if self.namespace is not None:
+                    message["namespace"] = self.namespace
+                pending[rid] = index
+                sent_at[rid] = time.perf_counter()
+                send_frame(self._sock, message)
+            response = recv_frame(self._sock)
+            rid = response.get("id")
+            if rid not in pending:
+                raise ProtocolError(
+                    f"response id {rid!r} matches no in-flight request"
+                )
+            index = pending.pop(rid)
+            latencies[index] = time.perf_counter() - sent_at.pop(rid)
+            if not response.get("ok"):
+                code = str(response.get("error", "unknown"))
+                if code == "overloaded":
+                    retries[index] += 1
+                    if retries[index] <= MAX_OVERLOAD_RETRIES:
+                        # explicit backpressure: back off briefly, then
+                        # resubmit this query at the back of the line
+                        time.sleep(min(0.002 * retries[index], 0.05))
+                        todo.append(index)
+                        continue
+                raise ServerError(code, str(response.get("message", "")))
+            results[index] = response
+        self.last_latencies = latencies
+        return results  # type: ignore[return-value]
 
     def stats(self) -> "dict[str, Any]":
         return self.request({"op": "stats"})

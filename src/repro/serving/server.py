@@ -14,13 +14,28 @@ One :class:`PlanServer` owns
 * an asyncio TCP front end on localhost speaking the length-prefixed
   JSON protocol of :mod:`repro.serving.protocol`.
 
-Request lifecycle for ``optimize``: admission control (bounded
-in-flight + bounded queue, explicit ``overloaded`` rejection), then a
-parent-side cache probe — hits are replayed in the event loop without
-touching the pool — and only actual misses ship to a worker, carrying
-the current cache delta.  The worker's identity-space recipe is
-absorbed into the shared cache by the parent, exactly like the batch
-backend, so the cache evolves deterministically.
+Request lifecycle for ``optimize``: a parent-side cache probe first —
+hits are replayed in the event loop without ever taking an admission
+slot, so a hot working set cannot queue behind pool-bound misses —
+then admission control (bounded in-flight + bounded queue, explicit
+``overloaded`` rejection) for actual misses, which ship to a worker
+carrying the current cache delta.  The worker's identity-space recipe
+is absorbed into the shared cache by the parent, exactly like the
+batch backend, so the cache evolves deterministically — and then
+republished into the shared-memory hot tier
+(:mod:`repro.serving.shared_tier`) so sibling workers see it at their
+next task without waiting for a shipped delta.
+
+Protocol v2 — pipelining: a request carrying an ``id`` is dispatched
+concurrently (one asyncio task per request, bounded by
+``pipeline_window`` per connection) and its response echoes the id, so
+one connection keeps N requests in flight and completions arrive out
+of order.  Requests *without* an id run in the v1 serialized mode —
+the connection first drains its pipelined tasks, then dispatches
+inline — so v1 clients interoperate unchanged.  A full window is
+answered immediately with ``overloaded`` (carrying the id); frame
+writes are serialized per connection so interleaved responses never
+corrupt the stream.
 
 Concurrency discipline: the event loop is single-threaded, but
 handlers interleave at every ``await``, so all shared state lives
@@ -48,20 +63,57 @@ from .protocol import (
     read_frame,
     wire_to_spec,
 )
+from .shared_tier import DEFAULT_TIER_BYTES, HotTierPublisher
 from .sync import DeltaTracker
 from .worker import serving_worker_init, serving_worker_kill, serving_worker_run
 
-#: protocol revision announced by the ``hello`` op
-PROTOCOL_VERSION = 1
+#: protocol revision announced by the ``hello`` op (2 = per-request
+#: ids + pipelining; id-less v1 requests still work, serialized)
+PROTOCOL_VERSION = 2
 
 #: default admission bounds: generous enough for a local bench, small
 #: enough that a runaway client sees explicit rejections, not latency
 DEFAULT_MAX_IN_FLIGHT = 8
 DEFAULT_QUEUE_LIMIT = 32
 
+#: default per-connection in-flight window for pipelined (id-carrying)
+#: requests; beyond it the server answers ``overloaded`` immediately
+DEFAULT_PIPELINE_WINDOW = 16
+
 
 def _error(code: str, message: str) -> "dict[str, Any]":
     return {"ok": False, "error": code, "message": message}
+
+
+class _ConnectionState:
+    """Per-connection pipelining state (one instance per handler).
+
+    ``tasks`` is the in-flight window; ``send`` serializes frame
+    writes so concurrently-completing responses never interleave
+    bytes on the stream.  Deliberately *not* named ``_lock``: this
+    object is owned by exactly one handler coroutine — the send lock
+    guards the socket, not instance state.
+    """
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.tasks: "set[asyncio.Task]" = set()
+        self._send_lock = asyncio.Lock()
+
+    async def send(self, response: "dict[str, Any]") -> None:
+        async with self._send_lock:
+            self.writer.write(encode_frame(response))
+            await self.writer.drain()
+
+    def spawn(self, coroutine: Any) -> None:
+        task = asyncio.ensure_future(coroutine)
+        self.tasks.add(task)
+        task.add_done_callback(self.tasks.discard)
+
+    async def drain(self) -> None:
+        """Wait for every in-flight pipelined request to complete."""
+        while self.tasks:
+            await asyncio.wait(set(self.tasks))
 
 
 class PlanServer:
@@ -79,6 +131,15 @@ class PlanServer:
         max_in_flight: optimize requests executing concurrently.
         queue_limit: optimize requests allowed to wait for a slot;
             beyond it requests are rejected with ``overloaded``.
+        pipeline_window: per-connection cap on concurrently-dispatched
+            id-carrying (v2) requests; a full window answers
+            ``overloaded`` immediately, id attached.
+        idle_timeout: seconds a connection may sit between frames
+            before the server sends a ``timeout`` error and closes it
+            (``None`` = never) — abandoned clients cannot hold fds
+            forever.
+        shared_tier_bytes: size of the shared-memory hot-plan segment
+            workers probe before computing (``0`` disables the tier).
         debug_ops: enable the ``debug-sleep`` / ``debug-kill-worker``
             ops the failure-path tests use; never enable in real
             serving.
@@ -92,6 +153,9 @@ class PlanServer:
         workers: int = 1,
         max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
         queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        pipeline_window: int = DEFAULT_PIPELINE_WINDOW,
+        idle_timeout: Optional[float] = None,
+        shared_tier_bytes: int = DEFAULT_TIER_BYTES,
         debug_ops: bool = False,
     ) -> None:
         if workers < 1:
@@ -100,6 +164,12 @@ class PlanServer:
             raise ValueError("max_in_flight must be at least 1")
         if queue_limit < 0:
             raise ValueError("queue_limit must be >= 0")
+        if pipeline_window < 1:
+            raise ValueError("pipeline_window must be at least 1")
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise ValueError("idle_timeout must be None or > 0 seconds")
+        if shared_tier_bytes < 0:
+            raise ValueError("shared_tier_bytes must be >= 0")
         if config is None:
             config = OptimizerConfig()
         self.config = config
@@ -108,6 +178,8 @@ class PlanServer:
         self.workers = workers
         self.max_in_flight = max_in_flight
         self.queue_limit = queue_limit
+        self.pipeline_window = pipeline_window
+        self.idle_timeout = idle_timeout
         self.debug_ops = debug_ops
         if config.cache_path is not None:
             #: persistence backend for ``cache_path`` — the SQLite
@@ -137,6 +209,20 @@ class PlanServer:
         self._closing = False
         self._active = 0
         self._waiting = 0
+        if shared_tier_bytes:
+            #: shared-memory hot-plan segment — best effort: a platform
+            #: without usable POSIX shared memory serves without a tier
+            #: instead of failing to start
+            try:
+                self._tier: Optional[HotTierPublisher] = HotTierPublisher(
+                    capacity_bytes=shared_tier_bytes
+                )
+            except OSError:
+                self._tier = None
+        else:
+            self._tier = None
+        #: latest shared-tier counters reported by each worker (by pid)
+        self._worker_tier: "dict[int, dict[str, int]]" = {}
         self._counters: "dict[str, int]" = {
             "requests": 0,
             "served_parent": 0,
@@ -146,6 +232,9 @@ class PlanServer:
             "client_disconnects": 0,
             "pool_rebuilds": 0,
             "internal_errors": 0,
+            "pipelined": 0,
+            "window_rejections": 0,
+            "idle_timeouts": 0,
         }
 
     # -- lifecycle -------------------------------------------------------
@@ -156,14 +245,18 @@ class PlanServer:
         return self.host, self.port
 
     def _make_pool(self) -> ProcessPoolExecutor:
+        tier_name = self._tier.name if self._tier is not None else None
         return ProcessPoolExecutor(
             max_workers=self.workers,
             initializer=serving_worker_init,
-            initargs=(self.config, snapshot_registrations()),
+            initargs=(self.config, snapshot_registrations(), tier_name),
         )
 
     async def start(self) -> None:
         """Bind the listener and build the worker pool."""
+        if self._tier is not None and len(self.cache):
+            # a warm-loaded cache seeds the tier before any task runs
+            self._tier.publish_from(self.cache)
         pool = self._make_pool()
         server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
@@ -234,6 +327,9 @@ class PlanServer:
             # release the store's connection (and stop its background
             # compactor, when one is running) after the final save
             self._persister.close()
+        if self._tier is not None:
+            # the pool is down, no reader is left: unlink the segment
+            self._tier.close(unlink=True)
         self._stop_event.set()
         return {"ok": True, "drained": drained, "saved": saved}
 
@@ -273,41 +369,86 @@ class PlanServer:
         task = asyncio.current_task()
         async with self._lock:
             self._connections[writer] = task  # type: ignore[assignment]
+        state = _ConnectionState(writer)
         try:
             while True:
                 try:
-                    request = await read_frame(reader)
+                    if self.idle_timeout is not None:
+                        request = await asyncio.wait_for(
+                            read_frame(reader), self.idle_timeout
+                        )
+                    else:
+                        request = await read_frame(reader)
+                except asyncio.TimeoutError:
+                    # abandoned connection: explicit close reason, then
+                    # reclaim the fd (and any window slots with it)
+                    async with self._lock:
+                        self._counters["idle_timeouts"] += 1
+                    await state.send(_error(
+                        "timeout",
+                        f"no frame for {self.idle_timeout}s; closing",
+                    ))
+                    break
                 except FrameTooLargeError as exc:
                     # the stream cannot be resynchronized: best-effort
                     # error response, then drop the connection
                     async with self._lock:
                         self._counters["protocol_errors"] += 1
-                    writer.write(encode_frame(
-                        _error("frame-too-large", str(exc))
-                    ))
-                    await writer.drain()
+                    await state.send(_error("frame-too-large", str(exc)))
                     break
                 except ProtocolError as exc:
                     async with self._lock:
                         self._counters["protocol_errors"] += 1
-                    writer.write(encode_frame(
-                        _error("protocol-error", str(exc))
-                    ))
-                    await writer.drain()
+                    await state.send(_error("protocol-error", str(exc)))
                     break
                 if request is None:
                     break  # peer hung up cleanly
-                response = await self._dispatch(request, writer)
-                writer.write(encode_frame(response))
-                await writer.drain()
-                if request.get("op") == "shutdown":
-                    break
+                rid = request.get("id")
+                if rid is not None and not isinstance(rid, (int, str)):
+                    await state.send(_error(
+                        "bad-request", "id must be an int or a string"
+                    ))
+                    continue
+                op = request.get("op")
+                if rid is None or op == "shutdown":
+                    # v1 serialized mode (and shutdown, whose
+                    # response-then-close contract requires a quiet
+                    # stream): finish the in-flight window first
+                    await state.drain()
+                    response = await self._dispatch(request, writer)
+                    if rid is not None:
+                        response = dict(response)
+                        response["id"] = rid
+                    await state.send(response)
+                    if op == "shutdown":
+                        break
+                    continue
+                # v2 pipelined dispatch: bounded window, explicit
+                # backpressure carrying the id
+                if len(state.tasks) >= self.pipeline_window:
+                    async with self._lock:
+                        self._counters["window_rejections"] += 1
+                    rejection = _error(
+                        "overloaded",
+                        f"pipeline window of {self.pipeline_window} "
+                        "requests is full; wait for completions",
+                    )
+                    rejection["id"] = rid
+                    await state.send(rejection)
+                    continue
+                async with self._lock:
+                    self._counters["pipelined"] += 1
+                state.spawn(self._pipelined(request, rid, writer, state))
         except (ConnectionError, TimeoutError, OSError):
             # client went away mid-request or mid-response; the shared
             # cache is untouched by connection state, nothing to undo
             async with self._lock:
                 self._counters["client_disconnects"] += 1
         finally:
+            # in-flight pipelined tasks are NOT cancelled: their pool
+            # work, cache absorbs, and admission-slot releases must
+            # complete exactly as if the response had been deliverable
+            # (the send then fails and counts a disconnect)
             async with self._lock:
                 self._connections.pop(writer, None)
             writer.close()
@@ -315,6 +456,22 @@ class PlanServer:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+    async def _pipelined(
+        self,
+        request: "dict[str, Any]",
+        rid: "int | str",
+        writer: asyncio.StreamWriter,
+        state: _ConnectionState,
+    ) -> None:
+        """One concurrently-dispatched v2 request: respond with its id."""
+        response = dict(await self._dispatch(request, writer))
+        response["id"] = rid
+        try:
+            await state.send(response)
+        except (ConnectionError, OSError):
+            async with self._lock:
+                self._counters["client_disconnects"] += 1
 
     async def _dispatch(
         self,
@@ -339,7 +496,12 @@ class PlanServer:
                 written = await self._save()
                 return {"ok": True, "entries": written}
             if op == "bump-epoch":
-                return {"ok": True, "epoch": self.cache.bump_epoch()}
+                epoch = self.cache.bump_epoch()
+                if self._tier is not None:
+                    # republish so tier readers see the epoch move and
+                    # stop serving now-stale rows
+                    self._tier.publish_from(self.cache)
+                return {"ok": True, "epoch": epoch}
             if op == "shutdown":
                 return await self.shutdown(
                     drain_timeout=float(request.get("drain_timeout", 10.0)),
@@ -364,6 +526,11 @@ class PlanServer:
             "workers": self.workers,
             "max_in_flight": self.max_in_flight,
             "queue_limit": self.queue_limit,
+            "pipeline_window": self.pipeline_window,
+            "idle_timeout": self.idle_timeout,
+            "shared_tier": (
+                self._tier.name if self._tier is not None else None
+            ),
         }
 
     async def _op_stats(self) -> "dict[str, Any]":
@@ -373,11 +540,32 @@ class PlanServer:
             server["queued"] = self._waiting
             server["closing"] = self._closing
             server["namespaces"] = len(self._optimizers)
+            worker_tier = [dict(c) for c in self._worker_tier.values()]
+        tier: "Optional[dict[str, Any]]" = None
+        if self._tier is not None:
+            workers_summed: "dict[str, int]" = {}
+            for counters in worker_tier:
+                for key, value in counters.items():
+                    if isinstance(value, int):
+                        workers_summed[key] = (
+                            workers_summed.get(key, 0) + value
+                        )
+            tier = {
+                "publisher": self._tier.counters(),
+                "workers": workers_summed,
+            }
         return {
             "ok": True,
             "server": server,
             "cache": self.cache.counters(),
             "sync": self._tracker.counters(),
+            "store": (
+                self._persister.counters()
+                if self._persister is not None
+                else None
+            ),
+            "structures": self.cache.structures(),
+            "shared_tier": tier,
         }
 
     async def _op_debug_sleep(
@@ -418,27 +606,42 @@ class PlanServer:
             spec = wire_to_spec(request.get("query"))
         except ProtocolError as exc:
             return _error("bad-request", str(exc))
-        rejection = await self._admit()
-        if rejection is not None:
-            return rejection
+        async with self._lock:
+            if self._closing:
+                return _error(
+                    "shutting-down",
+                    "the server is draining; reconnect later",
+                )
         try:
-            return await self._optimize_admitted(spec, namespace)
+            # probe the parent cache BEFORE admission: hits are served
+            # in the event loop and never queue behind pool-bound
+            # misses — under pipelining a hot working set would
+            # otherwise wait on slots that enumeration is holding
+            optimizer = await self._optimizer_for(namespace)
+            ctx, served = optimizer._probe_for_process_batch(
+                spec, self.cache
+            )
+            if served is not None:
+                async with self._lock:
+                    self._counters["served_parent"] += 1
+                return self._result_response(served, via="parent")
         except ValueError as exc:
             # planning-level rejection (e.g. disconnected graph under
             # the "raise" policy): the client's fault, not the server's
             return _error("bad-request", str(exc))
+        rejection = await self._admit()
+        if rejection is not None:
+            return rejection
+        try:
+            return await self._optimize_miss(ctx, optimizer)
+        except ValueError as exc:
+            return _error("bad-request", str(exc))
         finally:
             await self._release()
 
-    async def _optimize_admitted(
-        self, spec: Any, namespace: Optional[str]
+    async def _optimize_miss(
+        self, ctx: Any, optimizer: Optimizer
     ) -> "dict[str, Any]":
-        optimizer = await self._optimizer_for(namespace)
-        ctx, served = optimizer._probe_for_process_batch(spec, self.cache)
-        if served is not None:
-            async with self._lock:
-                self._counters["served_parent"] += 1
-            return self._result_response(served, via="parent")
         payload = await self._run_in_pool(ctx)
         if payload is None:
             return _error(
@@ -446,7 +649,15 @@ class PlanServer:
                 "the worker pool died twice on this request",
             )
         self._tracker.record(payload["pid"], payload["synced_to"])
+        tier_counters = payload.get("tier")
+        if tier_counters:
+            async with self._lock:
+                self._worker_tier[payload["pid"]] = tier_counters
         result = optimizer._absorb_recipe(ctx, payload)
+        if self._tier is not None:
+            # republish so sibling workers see this plan at their next
+            # task start, without waiting for a shipped delta
+            self._tier.publish_from(self.cache)
         async with self._lock:
             self._counters["served_pool"] += 1
         return self._result_response(result, via="pool")

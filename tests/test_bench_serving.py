@@ -6,9 +6,11 @@ import pytest
 
 from repro.bench.serving import (
     SCHEMA_VERSION,
+    build_pipeline_workload,
     build_workload,
     render_summary,
     run_delta_sync_phase,
+    run_pipeline_phase,
     run_serving_phase,
     validate_result,
 )
@@ -42,6 +44,38 @@ class TestWorkloadShape:
         assert len(set(cold_cards)) == len(cold_cards)
 
 
+class TestPipelineWorkload:
+    def test_duplicates_trail_their_originals(self):
+        stream = build_pipeline_workload(groups=3)
+        assert len(stream) == 24
+        for group in range(3):
+            window = stream[8 * group:8 * group + 8]
+            # second half of each window repeats the first half
+            for j in range(4):
+                assert window[4 + j] is window[j]
+
+    def test_groups_are_distinct(self):
+        stream = build_pipeline_workload(groups=4)
+        cards = {tuple(spec.cardinalities) for spec in stream}
+        assert len(cards) == 16  # 4 groups x 4 unique colds
+
+
+class TestPipelinePhase:
+    def test_tiny_run_produces_a_valid_section(self):
+        phase = run_pipeline_phase(
+            depth=4, groups=2, warm_entries=5,
+            require_tier_hits=False,  # too few requests to force the race
+        )
+        assert phase["n_requests"] == 16
+        assert phase["depth"] == 4
+        assert phase["serial_qps"] > 0
+        assert phase["pipelined_qps"] > 0
+        assert phase["speedup"] > 0
+        assert phase["pipelined_p99_ms"] >= phase["pipelined_p50_ms"] > 0
+        assert phase["tier"]["tier_hits"] >= 0
+        assert phase["server"]["pipelined"] == 16
+
+
 class TestDeltaSyncPhase:
     def test_ships_exactly_the_added_entries(self):
         phase = run_delta_sync_phase(warm_entries=12, added_entries=7)
@@ -66,6 +100,10 @@ class TestServingPhase:
             "label": "tiny",
             "python": "3",
             "serving": serving,
+            "pipeline": run_pipeline_phase(
+                depth=2, groups=1, warm_entries=5,
+                require_tier_hits=False,
+            ),
             "delta_sync": run_delta_sync_phase(
                 warm_entries=6, added_entries=4
             ),
@@ -87,6 +125,14 @@ class TestValidation:
                     "clients", "requests_per_client", "n_requests",
                     "daemon_qps", "baseline_qps", "speedup", "p50_ms",
                     "p99_ms", "daemon_sync",
+                )
+            },
+            "pipeline": {
+                key: 1 for key in (
+                    "depth", "n_requests", "workers", "serial_qps",
+                    "pipelined_qps", "speedup", "serial_p50_ms",
+                    "serial_p99_ms", "pipelined_p50_ms",
+                    "pipelined_p99_ms", "tier",
                 )
             },
             "delta_sync": {

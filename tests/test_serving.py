@@ -69,8 +69,10 @@ class TestOptimizeLifecycle:
     def test_hello_and_ping(self, server):
         with PlanClient(server.address) as client:
             hello = client.hello()
-            assert hello["protocol"] == 1
+            assert hello["protocol"] == 2
             assert hello["workers"] == 1
+            assert hello["pipeline_window"] >= 1
+            assert "shared_tier" in hello
             assert client.ping() is True
 
     def test_unplannable_query_is_bad_request(self, server):

@@ -271,6 +271,76 @@ class TestSizeBudget:
             assert len(store.load(capacity=64)) >= 1
 
 
+def bulky_cache(entries=60, payload=2000) -> PlanCache:
+    """Entries big enough that deleting them leaves real freelist pages."""
+    cache = PlanCache(entries + 8)
+    for i in range(entries):
+        cache.store(
+            (1, f"bulky-{i}", ("auto", "hyperedges", ("m", "q"), 14)),
+            (i, "x" * payload),
+            structure=f"bucket-{i % 2}",
+            cost=float(i),
+        )
+    return cache
+
+
+class TestVacuumPolicy:
+    def test_auto_vacuum_fires_on_freelist_ratio(self, tmp_path):
+        """A sweep that frees enough pages triggers the online VACUUM
+        without anyone passing ``vacuum=True``."""
+        with PlanStore(
+            store_path(tmp_path), ttl=100.0, vacuum_ratio=0.2
+        ) as store:
+            store.sync_from(bulky_cache())
+            swept = store.compact(now=time.time() + 200.0)
+            assert swept["expired"] == 60
+            assert store.auto_vacuums == 1
+            assert store.counters()["auto_vacuums"] == 1
+            # the pages really went back to the filesystem
+            ratio = store._freelist_ratio(store._conn)
+            assert ratio < 0.2
+
+    def test_auto_vacuum_is_rate_limited(self, tmp_path):
+        moment = time.time()
+        with PlanStore(
+            store_path(tmp_path), ttl=100.0,
+            vacuum_ratio=0.01, vacuum_interval=300.0,
+        ) as store:
+            store.sync_from(bulky_cache(entries=30))
+            store.compact(now=moment + 200.0)
+            assert store.auto_vacuums == 1
+            # new garbage right away: over the ratio, inside the window
+            store.sync_from(bulky_cache(entries=30))
+            store.compact(now=moment + 400.0)
+            assert store.auto_vacuums == 1
+            # the window elapses: the policy may act again
+            store.sync_from(bulky_cache(entries=30))
+            store.compact(now=moment + 400.0 + 301.0)
+            assert store.auto_vacuums == 2
+
+    def test_policy_disabled_with_none_ratio(self, tmp_path):
+        with PlanStore(
+            store_path(tmp_path), ttl=100.0, vacuum_ratio=None
+        ) as store:
+            store.sync_from(bulky_cache())
+            store.compact(now=time.time() + 200.0)
+            assert store.auto_vacuums == 0
+
+    def test_explicit_vacuum_is_not_counted_as_auto(self, tmp_path):
+        with PlanStore(store_path(tmp_path), ttl=100.0) as store:
+            store.sync_from(bulky_cache(entries=10))
+            store.compact(now=time.time() + 200.0, vacuum=True)
+            assert store.auto_vacuums == 0
+
+    def test_knob_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            PlanStore(store_path(tmp_path), vacuum_ratio=0.0)
+        with pytest.raises(ValueError):
+            PlanStore(store_path(tmp_path), vacuum_ratio=1.5)
+        with pytest.raises(ValueError):
+            PlanStore(store_path(tmp_path), vacuum_interval=0.0)
+
+
 class TestForceReconciliation:
     def test_routine_syncs_are_additive(self, tmp_path):
         """Drops between syncs keep their rows — documented divergence."""
